@@ -1,0 +1,55 @@
+//===- bench/fig13_canny_epochs.cpp - Reproduces Fig. 13 -----------------===//
+//
+// Fig. 13 of the paper: Canny prediction score as training progresses
+// (epoch sweep) for the Raw / Med / Min versions against the constant
+// baseline.
+//
+// Expected shape: Min consistently above the rest at every epoch count;
+// all learned versions above the baseline once trained.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "apps/canny/Canny.h"
+#include "support/Table.h"
+
+using namespace au;
+using namespace au::apps;
+using analysis::SlPick;
+
+int main() {
+  int NumTrain = static_cast<int>(bench::scaled(60, 12));
+  static const uint64_t Seeds[] = {4100, 4200, 4300};
+  const int NumSeeds = 3;
+
+  bench::banner("Fig. 13: Canny score vs training epochs");
+  std::printf("(averaged over %d dataset seeds, %d training images each)\n\n",
+              NumSeeds, NumTrain);
+
+  std::vector<int> Points = {2, 5, 10, 20, 40, 80};
+  double Baseline = 0.0;
+  std::vector<double> Curves[3];
+  for (auto &C : Curves)
+    C.assign(Points.size(), 0.0);
+
+  for (uint64_t Seed : Seeds) {
+    CannyExperiment Exp(NumTrain, /*NumTest=*/10, Seed);
+    Baseline += Exp.baselineScore() / NumSeeds;
+    for (SlPick Pick : {SlPick::Raw, SlPick::Med, SlPick::Min}) {
+      std::vector<std::pair<int, double>> Curve =
+          Exp.trainEpochCurve(Pick, Points);
+      for (size_t I = 0; I != Points.size(); ++I)
+        Curves[static_cast<int>(Pick)][I] += Curve[I].second / NumSeeds;
+    }
+  }
+
+  Table Out({"Epochs", "Baseline", "Raw", "Med", "Min"});
+  for (size_t I = 0; I != Points.size(); ++I)
+    Out.addRow({fmt(static_cast<long long>(Points[I])), fmt(Baseline, 3),
+                fmt(Curves[static_cast<int>(SlPick::Raw)][I], 3),
+                fmt(Curves[static_cast<int>(SlPick::Med)][I], 3),
+                fmt(Curves[static_cast<int>(SlPick::Min)][I], 3)});
+  Out.print();
+  return 0;
+}

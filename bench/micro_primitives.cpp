@@ -1,0 +1,123 @@
+//===- bench/micro_primitives.cpp - Primitive overhead microbenchmarks ---===//
+//
+// google-benchmark microbenchmarks behind the paper's overhead claims
+// (Section 6.2: SL overhead <= 0.64x, RL overhead 0.89x-6.14x, driven by
+// the per-iteration cost of au_extract / au_serialize / au_NN /
+// au_write_back and the checkpoint/restore latency of Table 2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/flappy/Flappy.h"
+#include "core/Runtime.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace au;
+using namespace au::apps;
+
+static void BM_Extract(benchmark::State &State) {
+  Runtime RT(Mode::TR);
+  std::vector<float> Vals(State.range(0), 1.0f);
+  for (auto _ : State) {
+    RT.extract("X", Vals.size(), Vals.data());
+    RT.db().reset("X");
+  }
+  State.SetBytesProcessed(State.iterations() * State.range(0) *
+                          sizeof(float));
+}
+BENCHMARK(BM_Extract)->Arg(1)->Arg(32)->Arg(1024);
+
+static void BM_Serialize(benchmark::State &State) {
+  Runtime RT(Mode::TR);
+  std::vector<std::string> Names;
+  for (int I = 0; I < State.range(0); ++I)
+    Names.push_back("v" + std::to_string(I));
+  for (auto _ : State) {
+    for (const std::string &N : Names)
+      RT.extract(N, 1.0f);
+    std::string Combined = RT.serialize(Names);
+    RT.db().reset(Combined);
+  }
+}
+BENCHMARK(BM_Serialize)->Arg(5)->Arg(20);
+
+static void BM_NnPredictDnn(benchmark::State &State) {
+  Runtime RT(Mode::TR);
+  ModelConfig C;
+  C.Name = "m";
+  C.HiddenLayers = {32, 32};
+  RT.config(C);
+  // One TR iteration to materialize the model, then switch to TS.
+  std::vector<float> Vals(State.range(0), 0.5f);
+  RT.extract("F", Vals.size(), Vals.data());
+  RT.nn("m", "F", {{"Y", 1}});
+  float L = 0.5f;
+  RT.writeBack("Y", 1, &L);
+  static_cast<SlModel *>(RT.getModel("m"))->train(1, 1);
+  RT.switchMode(Mode::TS);
+
+  for (auto _ : State) {
+    RT.extract("F", Vals.size(), Vals.data());
+    RT.nn("m", "F", {{"Y", 1}});
+    float Out = 0.0f;
+    RT.writeBack("Y", 1, &Out);
+    benchmark::DoNotOptimize(Out);
+  }
+}
+BENCHMARK(BM_NnPredictDnn)->Arg(8)->Arg(32)->Arg(256);
+
+static void BM_CheckpointRestore(benchmark::State &State) {
+  Runtime RT(Mode::TR);
+  FlappyEnv Env;
+  Env.reset(1 << 8);
+  RT.checkpoints().registerObject(&Env);
+  for (int I = 0; I < 64; ++I)
+    RT.extract("S", static_cast<float>(I));
+  for (auto _ : State) {
+    RT.checkpoint();
+    RT.restore();
+  }
+}
+BENCHMARK(BM_CheckpointRestore);
+
+static void BM_GameLoopPlain(benchmark::State &State) {
+  FlappyEnv Env;
+  Env.reset(2 << 8);
+  Rng R(1);
+  for (auto _ : State) {
+    if (Env.terminal())
+      Env.reset(2 << 8);
+    Env.step(Env.heuristicAction(R));
+  }
+}
+BENCHMARK(BM_GameLoopPlain);
+
+static void BM_GameLoopAutonomized(benchmark::State &State) {
+  // The full annotated loop body: extract + serialize + au_NN + write-back
+  // + act, the paper's RL "execution time" per iteration.
+  FlappyEnv Env;
+  Env.reset(3 << 8);
+  Runtime RT(Mode::TR);
+  ModelConfig C;
+  C.Name = "agent";
+  C.Algo = Algorithm::QLearn;
+  C.HiddenLayers = {32, 32};
+  RT.config(C);
+  std::vector<std::string> Names = {"birdY", "birdV", "pipeDx", "gap1Y",
+                                    "diffY"};
+  for (auto _ : State) {
+    if (Env.terminal())
+      Env.reset(3 << 8);
+    std::vector<Feature> Fs = Env.features();
+    for (const std::string &N : Names)
+      RT.extract(N, featureValue(Fs, N));
+    std::string Ext = RT.serialize(Names);
+    RT.nn("agent", Ext, 0.1f, false, {"output", 2});
+    int Action = 0;
+    RT.writeBack("output", 2, &Action);
+    Env.step(Action);
+  }
+}
+BENCHMARK(BM_GameLoopAutonomized);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,164 @@
+//===- examples/quickstart.cpp - Autonomizer in five minutes -------------===//
+//
+// The smallest end-to-end autonomization. The "legacy program" below is a
+// one-line data processor with a quality-critical parameter: it smooths a
+// noisy signal with a window whose IDEAL width depends on how noisy the
+// input is. Users normally pick the width by hand per input; we autonomize
+// it so a model picks it on the fly.
+//
+// The paper's workflow, in order:
+//   1. TR (training) runs: the program executes with known-good parameter
+//      choices; au_extract records feature-variable values and
+//      au_write_back records the good choices as labels.
+//   2. Offline training (trainSupervised) fits the model.
+//   3. TS (deployment) runs: au_NN predicts, au_write_back installs the
+//      prediction into the program variable, execution continues normally.
+//
+// Build & run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+#include "support/Rng.h"
+#include "support/Statistics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+using namespace au;
+
+//===----------------------------------------------------------------------===//
+// The legacy program: a parameterized moving-average smoother.
+//===----------------------------------------------------------------------===//
+
+/// Smooths Signal with a centered window of half-width W.
+static std::vector<double> smooth(const std::vector<double> &Signal, int W) {
+  std::vector<double> Out(Signal.size());
+  for (size_t I = 0; I != Signal.size(); ++I) {
+    double Acc = 0.0;
+    int N = 0;
+    for (int K = -W; K <= W; ++K) {
+      long J = static_cast<long>(I) + K;
+      if (J >= 0 && J < static_cast<long>(Signal.size())) {
+        Acc += Signal[J];
+        ++N;
+      }
+    }
+    Out[I] = Acc / N;
+  }
+  return Out;
+}
+
+/// One synthetic workload: a sine with seed-dependent noise. The clean
+/// signal is the ground truth the smoother tries to recover.
+struct Workload {
+  std::vector<double> Noisy;
+  std::vector<double> Clean;
+  double NoiseLevel;
+};
+
+static Workload makeWorkload(uint64_t Seed) {
+  Rng R(Seed);
+  Workload W;
+  W.NoiseLevel = R.uniform(0.02, 0.5);
+  for (int I = 0; I < 128; ++I) {
+    double Clean = std::sin(I * 0.12);
+    W.Clean.push_back(Clean);
+    W.Noisy.push_back(Clean + R.normal(0.0, W.NoiseLevel));
+  }
+  return W;
+}
+
+/// Output quality: negative mean squared error against the clean signal.
+static double quality(const std::vector<double> &Out,
+                      const std::vector<double> &Clean) {
+  double Err = 0.0;
+  for (size_t I = 0; I != Out.size(); ++I)
+    Err += (Out[I] - Clean[I]) * (Out[I] - Clean[I]);
+  return -Err / static_cast<double>(Out.size());
+}
+
+/// The autotuning oracle used to label training runs: tries every width.
+static int idealWidth(const Workload &W) {
+  int Best = 1;
+  double BestQ = -1e30;
+  for (int Width = 1; Width <= 12; ++Width) {
+    double Q = quality(smooth(W.Noisy, Width), W.Clean);
+    if (Q > BestQ) {
+      BestQ = Q;
+      Best = Width;
+    }
+  }
+  return Best;
+}
+
+//===----------------------------------------------------------------------===//
+// The autonomized program: the original logic plus five primitive calls.
+//===----------------------------------------------------------------------===//
+
+/// Runs the smoother with Autonomizer installed. In TR mode \p TrainWidth
+/// is the known-good width being demonstrated; in TS mode the model
+/// decides.
+static double runAutonomized(Runtime &RT, const Workload &W,
+                             int TrainWidth) {
+  // au_config: a small DNN trained with AdamOpt (idempotent).
+  ModelConfig Cfg;
+  Cfg.Name = "WidthNN";
+  Cfg.HiddenLayers = {16, 8};
+  RT.config(Cfg);
+
+  // au_extract: the feature variables — cheap signal statistics the
+  // program can compute before choosing the width. (A real deployment
+  // would let Algorithm 1 pick these; see the canny example.)
+  std::vector<double> Diffs;
+  for (size_t I = 1; I < W.Noisy.size(); ++I)
+    Diffs.push_back(W.Noisy[I] - W.Noisy[I - 1]);
+  RT.extract("ROUGHNESS", stddev(Diffs));
+  RT.extract("SPREAD", stddev(W.Noisy));
+
+  // au_serialize + au_NN: feed the features, declare the output.
+  std::string Ext = RT.serialize({"ROUGHNESS", "SPREAD"});
+  RT.nn("WidthNN", Ext, {{"WIDTH", 1}});
+
+  // au_write_back: TR records the demonstrated width as the label;
+  // TS overwrites it with the model's prediction.
+  float WidthV = static_cast<float>(TrainWidth);
+  RT.writeBack("WIDTH", 1, &WidthV);
+  int Width = static_cast<int>(clamp(std::lround(WidthV), 1, 12));
+
+  return quality(smooth(W.Noisy, Width), W.Clean);
+}
+
+int main() {
+  Runtime RT(Mode::TR);
+
+  // --- Phase 1+2: training runs piggyback on normal operation. ---
+  std::printf("Training on 80 demonstration runs...\n");
+  for (uint64_t Seed = 0; Seed < 80; ++Seed) {
+    Workload W = makeWorkload(Seed);
+    runAutonomized(RT, W, idealWidth(W));
+  }
+  double Loss = RT.trainSupervised("WidthNN", /*Epochs=*/120,
+                                   /*BatchSize=*/16);
+  std::printf("Final training loss: %.4f\n\n", Loss);
+
+  // --- Phase 3: deployment. ---
+  RT.switchMode(Mode::TS);
+  double FixedQ = 0.0, AutoQ = 0.0, OracleQ = 0.0;
+  const int NumTest = 20;
+  for (uint64_t Seed = 1000; Seed < 1000 + NumTest; ++Seed) {
+    Workload W = makeWorkload(Seed);
+    FixedQ += quality(smooth(W.Noisy, /*W=*/4), W.Clean); // One-size default.
+    AutoQ += runAutonomized(RT, W, /*TrainWidth=*/0);     // Model decides.
+    OracleQ += quality(smooth(W.Noisy, idealWidth(W)), W.Clean);
+  }
+  std::printf("Mean quality over %d unseen inputs (higher is better):\n",
+              NumTest);
+  std::printf("  fixed default width : %8.5f\n", FixedQ / NumTest);
+  std::printf("  autonomized         : %8.5f\n", AutoQ / NumTest);
+  std::printf("  per-input oracle    : %8.5f\n", OracleQ / NumTest);
+  std::printf("\nThe autonomized program should land between the fixed "
+              "default and the oracle.\n");
+  return 0;
+}

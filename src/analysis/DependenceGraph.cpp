@@ -1,0 +1,125 @@
+//===- analysis/DependenceGraph.cpp - Dynamic dependence graph -----------===//
+
+#include "analysis/DependenceGraph.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace au;
+using namespace au::analysis;
+
+NodeId DependenceGraph::getOrAddNode(const std::string &Name) {
+  auto It = Index.find(Name);
+  if (It != Index.end())
+    return It->second;
+  NodeId Id = static_cast<NodeId>(Names.size());
+  Names.push_back(Name);
+  Succ.emplace_back();
+  Index.emplace(Name, Id);
+  return Id;
+}
+
+NodeId DependenceGraph::lookup(const std::string &Name) const {
+  auto It = Index.find(Name);
+  return It == Index.end() ? -1 : It->second;
+}
+
+void DependenceGraph::addEdge(NodeId From, NodeId To) {
+  assert(From >= 0 && From < numNodes() && "edge source out of range");
+  assert(To >= 0 && To < numNodes() && "edge target out of range");
+  std::vector<NodeId> &S = Succ[From];
+  if (std::find(S.begin(), S.end(), To) == S.end())
+    S.push_back(To);
+}
+
+void DependenceGraph::addEdge(const std::string &From, const std::string &To) {
+  NodeId F = getOrAddNode(From);
+  NodeId T = getOrAddNode(To);
+  addEdge(F, T);
+}
+
+std::vector<bool> DependenceGraph::reachableFrom(NodeId N) const {
+  std::vector<bool> Seen(Names.size(), false);
+  std::deque<NodeId> Work;
+  // Seed with successors, not N itself, so N is only "reachable" through a
+  // cycle (loop-carried dependence).
+  for (NodeId S : Succ[N])
+    if (!Seen[S]) {
+      Seen[S] = true;
+      Work.push_back(S);
+    }
+  while (!Work.empty()) {
+    NodeId Cur = Work.front();
+    Work.pop_front();
+    for (NodeId S : Succ[Cur])
+      if (!Seen[S]) {
+        Seen[S] = true;
+        Work.push_back(S);
+      }
+  }
+  return Seen;
+}
+
+std::vector<NodeId> DependenceGraph::dependents(NodeId N) const {
+  assert(N >= 0 && N < numNodes() && "node id out of range");
+  std::vector<bool> Seen = reachableFrom(N);
+  std::vector<NodeId> Out;
+  for (NodeId I = 0; I < numNodes(); ++I)
+    if (Seen[I])
+      Out.push_back(I);
+  return Out;
+}
+
+bool DependenceGraph::shareDependent(NodeId A, NodeId B) const {
+  std::vector<bool> SA = reachableFrom(A);
+  std::vector<bool> SB = reachableFrom(B);
+  for (size_t I = 0, E = SA.size(); I != E; ++I)
+    if (SA[I] && SB[I])
+      return true;
+  return false;
+}
+
+std::vector<NodeId> DependenceGraph::commonDependents(NodeId A,
+                                                      NodeId B) const {
+  std::vector<bool> SA = reachableFrom(A);
+  std::vector<bool> SB = reachableFrom(B);
+  std::vector<NodeId> Out;
+  for (NodeId I = 0; I < numNodes(); ++I)
+    if (SA[I] && SB[I])
+      Out.push_back(I);
+  return Out;
+}
+
+bool DependenceGraph::dependsOn(NodeId A, NodeId B) const {
+  assert(B >= 0 && B < numNodes() && "node id out of range");
+  return reachableFrom(B)[A];
+}
+
+int DependenceGraph::bfsDistanceToAny(
+    NodeId From, const std::vector<NodeId> &Targets) const {
+  assert(From >= 0 && From < numNodes() && "node id out of range");
+  if (Targets.empty())
+    return -1;
+  std::vector<bool> IsTarget(Names.size(), false);
+  for (NodeId T : Targets)
+    IsTarget[T] = true;
+  // From itself can be a target only via a cycle, consistent with
+  // dependents() excluding the node; so do not test From at distance 0.
+  std::vector<int> Dist(Names.size(), -1);
+  std::deque<NodeId> Work;
+  Dist[From] = 0;
+  Work.push_back(From);
+  while (!Work.empty()) {
+    NodeId Cur = Work.front();
+    Work.pop_front();
+    for (NodeId S : Succ[Cur]) {
+      if (Dist[S] != -1)
+        continue;
+      Dist[S] = Dist[Cur] + 1;
+      if (IsTarget[S])
+        return Dist[S];
+      Work.push_back(S);
+    }
+  }
+  return -1;
+}

@@ -1,0 +1,94 @@
+//===- analysis/DependenceGraph.h - Dynamic dependence graph ---*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The variable-level dynamic program dependence graph consumed by the
+/// paper's feature-extraction algorithms (Section 4). Nodes are program
+/// variables; a directed edge u -> v records that v was computed from u
+/// during the profiled execution (so following edges forward reaches the
+/// *dependents* of a variable; the paper calls these "descendents").
+///
+/// The paper builds this graph with Valgrind-based dynamic analysis; here
+/// the applications build it through the Tracer instrumentation API, which
+/// records exactly the same artifact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_ANALYSIS_DEPENDENCEGRAPH_H
+#define AU_ANALYSIS_DEPENDENCEGRAPH_H
+
+#include <cassert>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace au {
+namespace analysis {
+
+/// Dense node identifier; assigned in insertion order so iteration is
+/// deterministic.
+using NodeId = int;
+
+/// A directed graph over named program variables.
+class DependenceGraph {
+public:
+  /// Returns the id for \p Name, creating the node if needed.
+  NodeId getOrAddNode(const std::string &Name);
+
+  /// Returns the id for \p Name or -1 if absent.
+  NodeId lookup(const std::string &Name) const;
+
+  /// Records that \p To was computed from \p From (From -> To). Duplicate
+  /// edges are collapsed. Self-edges record loop-carried dependence.
+  void addEdge(NodeId From, NodeId To);
+  void addEdge(const std::string &From, const std::string &To);
+
+  int numNodes() const { return static_cast<int>(Names.size()); }
+  const std::string &name(NodeId N) const {
+    assert(N >= 0 && N < numNodes() && "node id out of range");
+    return Names[N];
+  }
+
+  /// Direct successors (immediate dependents) of \p N, in insertion order.
+  const std::vector<NodeId> &successors(NodeId N) const {
+    assert(N >= 0 && N < numNodes() && "node id out of range");
+    return Succ[N];
+  }
+
+  /// Transitive dependents of \p N — the paper's dep(N). Excludes N itself
+  /// unless a cycle leads back to it (loop-carried dependence).
+  std::vector<NodeId> dependents(NodeId N) const;
+
+  /// True when some node is a dependent of both \p A and \p B (the paper's
+  /// correlation test dep(A) ∩ dep(B) != ∅).
+  bool shareDependent(NodeId A, NodeId B) const;
+
+  /// Sorted intersection of dependents(A) and dependents(B).
+  std::vector<NodeId> commonDependents(NodeId A, NodeId B) const;
+
+  /// True when \p A transitively depends on \p B (B reaches A).
+  bool dependsOn(NodeId A, NodeId B) const;
+
+  /// BFS distance (edge count) from \p From to the nearest node in
+  /// \p Targets following forward edges; -1 when unreachable. This is the
+  /// paper's "distance to the first common descendent".
+  int bfsDistanceToAny(NodeId From, const std::vector<NodeId> &Targets) const;
+
+  /// All node names in insertion order.
+  std::vector<std::string> nodeNames() const { return Names; }
+
+private:
+  std::vector<bool> reachableFrom(NodeId N) const;
+
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, NodeId> Index;
+  std::vector<std::vector<NodeId>> Succ;
+};
+
+} // namespace analysis
+} // namespace au
+
+#endif // AU_ANALYSIS_DEPENDENCEGRAPH_H

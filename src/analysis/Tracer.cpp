@@ -1,0 +1,61 @@
+//===- analysis/Tracer.cpp - Dynamic instrumentation recorder ------------===//
+
+#include "analysis/Tracer.h"
+
+using namespace au;
+using namespace au::analysis;
+
+void Tracer::markInput(const std::string &Var) {
+  Graph.getOrAddNode(Var);
+  if (InputSet.insert(Var).second)
+    Inputs.push_back(Var);
+}
+
+void Tracer::recordDef(const std::string &Var,
+                       const std::vector<std::string> &Sources,
+                       const std::string &Function) {
+  NodeId V = Graph.getOrAddNode(Var);
+  for (const std::string &Src : Sources) {
+    NodeId S = Graph.getOrAddNode(Src);
+    Graph.addEdge(S, V);
+    UseFunc[Src].insert(Function);
+  }
+  UseFunc[Var].insert(Function);
+}
+
+void Tracer::recordUse(const std::string &Var, const std::string &Function) {
+  Graph.getOrAddNode(Var);
+  UseFunc[Var].insert(Function);
+}
+
+void Tracer::recordValue(const std::string &Var, double Value) {
+  Graph.getOrAddNode(Var);
+  Traces[Var].push_back(Value);
+}
+
+void Tracer::recordDefValue(const std::string &Var,
+                            const std::vector<std::string> &Sources,
+                            const std::string &Function, double Value) {
+  recordDef(Var, Sources, Function);
+  recordValue(Var, Value);
+}
+
+const std::set<std::string> &
+Tracer::useFunctions(const std::string &Var) const {
+  static const std::set<std::string> Empty;
+  auto It = UseFunc.find(Var);
+  return It == UseFunc.end() ? Empty : It->second;
+}
+
+const std::vector<double> &Tracer::trace(const std::string &Var) const {
+  static const std::vector<double> Empty;
+  auto It = Traces.find(Var);
+  return It == Traces.end() ? Empty : It->second;
+}
+
+size_t Tracer::traceBytes() const {
+  size_t Bytes = 0;
+  for (const auto &[Var, Vals] : Traces)
+    Bytes += Vals.size() * sizeof(double);
+  return Bytes;
+}

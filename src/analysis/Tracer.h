@@ -1,0 +1,87 @@
+//===- analysis/Tracer.h - Dynamic instrumentation recorder ----*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumentation front end that stands in for the paper's
+/// Valgrind-based dynamic analysis. Applications call the recording hooks at
+/// definition and use sites during a profiling run; the tracer accumulates
+/// everything the two feature-extraction algorithms consume:
+///
+///   * the dynamic dependence graph (def(var, sources)),
+///   * the variable -> usage-function map (UseFunc of Algorithm 2),
+///   * runtime value traces per variable (Tracing of Algorithm 2),
+///   * the set of input variables (In of Algorithm 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_ANALYSIS_TRACER_H
+#define AU_ANALYSIS_TRACER_H
+
+#include "analysis/DependenceGraph.h"
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace au {
+namespace analysis {
+
+/// Records one profiled execution's dependence and value information.
+class Tracer {
+public:
+  /// Marks \p Var as a program input (image pixels, key strokes, ...).
+  void markInput(const std::string &Var);
+
+  /// Records that \p Var was defined from \p Sources inside \p Function.
+  /// Creates dependence edges Source -> Var and registers uses of the
+  /// sources and a use of Var in \p Function.
+  void recordDef(const std::string &Var,
+                 const std::vector<std::string> &Sources,
+                 const std::string &Function);
+
+  /// Records a read of \p Var inside \p Function without a new definition.
+  void recordUse(const std::string &Var, const std::string &Function);
+
+  /// Appends \p Value to the runtime trace of \p Var.
+  void recordValue(const std::string &Var, double Value);
+
+  /// Convenience: recordDef + recordValue in one call.
+  void recordDefValue(const std::string &Var,
+                      const std::vector<std::string> &Sources,
+                      const std::string &Function, double Value);
+
+  const DependenceGraph &graph() const { return Graph; }
+  DependenceGraph &graph() { return Graph; }
+
+  /// Input-variable names in first-seen order.
+  const std::vector<std::string> &inputs() const { return Inputs; }
+
+  /// Functions in which \p Var was used (empty set if never seen).
+  const std::set<std::string> &useFunctions(const std::string &Var) const;
+
+  /// The recorded value trace of \p Var (empty if never recorded).
+  const std::vector<double> &trace(const std::string &Var) const;
+
+  /// All variables that ever appeared, in first-seen order (the paper's
+  /// ProgVar set).
+  std::vector<std::string> allVariables() const { return Graph.nodeNames(); }
+
+  /// Total trace footprint in bytes (doubles), the Table 2 "Trace Size".
+  size_t traceBytes() const;
+
+private:
+  DependenceGraph Graph;
+  std::vector<std::string> Inputs;
+  std::set<std::string> InputSet;
+  std::unordered_map<std::string, std::set<std::string>> UseFunc;
+  std::unordered_map<std::string, std::vector<double>> Traces;
+};
+
+} // namespace analysis
+} // namespace au
+
+#endif // AU_ANALYSIS_TRACER_H

@@ -1,0 +1,221 @@
+//===- apps/arkanoid/Arkanoid.cpp - Arkanoid benchmark program -----------===//
+
+#include "apps/arkanoid/Arkanoid.h"
+
+#include "apps/common/ByteIO.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace au;
+using namespace au::apps;
+
+// Brick field occupies rows of world Y in [12, 16).
+static constexpr double BrickTop = 16.0;
+static constexpr double BrickBottom = 12.0;
+
+void ArkanoidEnv::reset(uint64_t Seed) {
+  Rng Jitter(Seed);
+  Bricks.assign(NumBricks, 1);
+  PaddleX = WorldW / 2;
+  BallX = WorldW / 2 + Jitter.uniform(-2.0, 2.0);
+  BallY = 3.0;
+  double Angle = Jitter.uniform(-0.5, 0.5);
+  BallVx = 0.55 * std::sin(Angle) + (Jitter.chance(0.5) ? 0.25 : -0.25);
+  BallVy = 0.55;
+  Missed = false;
+}
+
+int ArkanoidEnv::cleared() const {
+  int N = 0;
+  for (uint8_t B : Bricks)
+    N += B == 0;
+  return N;
+}
+
+void ArkanoidEnv::bounceBricks() {
+  if (BallY < BrickBottom || BallY >= BrickTop)
+    return;
+  int Row = static_cast<int>((BallY - BrickBottom) / (BrickTop - BrickBottom) *
+                             BrickRows);
+  int Col = static_cast<int>(BallX / WorldW * BrickCols);
+  Row = std::clamp(Row, 0, BrickRows - 1);
+  Col = std::clamp(Col, 0, BrickCols - 1);
+  uint8_t &B = Bricks[static_cast<size_t>(Row) * BrickCols + Col];
+  if (B) {
+    B = 0;
+    BallVy = -BallVy;
+  }
+}
+
+float ArkanoidEnv::step(int Action) {
+  if (terminal())
+    return 0.0f;
+  if (Action == 0)
+    PaddleX = std::max(PaddleHalf, PaddleX - 0.6);
+  else if (Action == 2)
+    PaddleX = std::min(WorldW - PaddleHalf, PaddleX + 0.6);
+
+  int Before = cleared();
+  BallX += BallVx;
+  BallY += BallVy;
+
+  // Wall reflections.
+  if (BallX <= 0.0) {
+    BallX = -BallX;
+    BallVx = -BallVx;
+  } else if (BallX >= WorldW) {
+    BallX = 2 * WorldW - BallX;
+    BallVx = -BallVx;
+  }
+  if (BallY >= WorldH) {
+    BallY = 2 * WorldH - BallY;
+    BallVy = -BallVy;
+  }
+
+  bounceBricks();
+
+  // Paddle at Y = 1: deflect with an offset-dependent angle so the player
+  // can aim.
+  if (BallY <= 1.0 && BallVy < 0) {
+    if (std::abs(BallX - PaddleX) <= PaddleHalf) {
+      BallVy = -BallVy;
+      BallY = 2.0 - BallY;
+      BallVx += 0.25 * (BallX - PaddleX) / PaddleHalf;
+      BallVx = clamp(BallVx, -0.7, 0.7);
+    } else if (BallY <= 0.0) {
+      Missed = true;
+      return -10.0f;
+    }
+  }
+
+  int Gained = cleared() - Before;
+  if (cleared() == NumBricks)
+    return 10.0f;
+  return Gained > 0 ? 3.0f : 0.01f;
+}
+
+int ArkanoidEnv::heuristicAction(Rng &R) const {
+  (void)R;
+  // Track the ball's x with a small dead zone.
+  double Diff = BallX - PaddleX;
+  if (Diff > 0.4)
+    return 2;
+  if (Diff < -0.4)
+    return 0;
+  return 1;
+}
+
+std::vector<Feature> ArkanoidEnv::features() const {
+  return {
+      {"ballX", static_cast<float>(BallX / WorldW)},
+      {"ballY", static_cast<float>(BallY / WorldH)},
+      {"ballVx", static_cast<float>(BallVx)},
+      {"ballVy", static_cast<float>(BallVy)},
+      {"paddleX", static_cast<float>(PaddleX / WorldW)},
+      {"diffX", static_cast<float>((BallX - PaddleX) / WorldW)},
+      {"bricksLeft", static_cast<float>(NumBricks - cleared()) / NumBricks},
+      {"ballPosX", static_cast<float>(BallX / WorldW)},   // alias
+      {"padX", static_cast<float>(PaddleX / WorldW)},     // alias
+      {"paddleHalf", static_cast<float>(PaddleHalf / WorldW)}, // constant
+      {"worldW", 1.0f},                                   // constant
+      {"lives", 1.0f},                                    // constant
+      {"missedFlag", Missed ? 1.0f : 0.0f},
+      {"clearedFrac", static_cast<float>(progress())},
+      {"rowY", static_cast<float>(BrickBottom / WorldH)}, // constant
+  };
+}
+
+Image ArkanoidEnv::renderFrame(int Side) const {
+  Image Frame(Side, Side, 0.0f);
+  auto Px = [&](double V, double Max) {
+    return std::clamp(static_cast<int>(V / Max * (Side - 1)), 0, Side - 1);
+  };
+  // Bricks (screen Y grows downward; world Y grows upward).
+  for (int Row = 0; Row < BrickRows; ++Row)
+    for (int Col = 0; Col < BrickCols; ++Col) {
+      if (!Bricks[static_cast<size_t>(Row) * BrickCols + Col])
+        continue;
+      double Wy = BrickBottom +
+                  (Row + 0.5) / BrickRows * (BrickTop - BrickBottom);
+      double Wx = (Col + 0.5) / BrickCols * WorldW;
+      int Y = Side - 1 - Px(Wy, WorldH);
+      int X = Px(Wx, WorldW);
+      Frame.at(X, Y) = 0.5f;
+      if (X + 1 < Side)
+        Frame.at(X + 1, Y) = 0.5f;
+    }
+  // Ball.
+  Frame.at(Px(BallX, WorldW), Side - 1 - Px(BallY, WorldH)) = 1.0f;
+  // Paddle.
+  int Py = Side - 2;
+  for (double Dx = -PaddleHalf; Dx <= PaddleHalf; Dx += 0.5)
+    Frame.at(Px(PaddleX + Dx, WorldW), Py) = 0.8f;
+  return Frame;
+}
+
+void ArkanoidEnv::profile(analysis::Tracer &T, int Steps) {
+  reset(/*Seed=*/0x4242 << 8);
+  T.markInput("joypad");
+  Rng R(17);
+  for (int S = 0; S < Steps && !terminal(); ++S) {
+    int Action = heuristicAction(R);
+    std::vector<Feature> Fs = features();
+    T.recordDefValue("paddleDir", {"joypad"}, "handleInput", Action - 1);
+    T.recordDefValue("actionKey", {"joypad"}, "handleInput", Action);
+    T.recordDefValue("paddleX", {"paddleX", "paddleDir"}, "updatePaddle",
+                     featureValue(Fs, "paddleX"));
+    T.recordDefValue("padX", {"paddleX"}, "updatePaddle",
+                     featureValue(Fs, "padX")); // alias
+    T.recordDefValue("ballX", {"ballX", "ballVx"}, "updateBall",
+                     featureValue(Fs, "ballX"));
+    T.recordDefValue("ballY", {"ballY", "ballVy"}, "updateBall",
+                     featureValue(Fs, "ballY"));
+    T.recordDefValue("ballPosX", {"ballX"}, "updateBall",
+                     featureValue(Fs, "ballPosX")); // alias
+    T.recordDefValue("ballVx", {"ballVx", "diffX"}, "updateBall",
+                     featureValue(Fs, "ballVx"));
+    T.recordDefValue("ballVy", {"ballVy"}, "updateBall",
+                     featureValue(Fs, "ballVy"));
+    T.recordDefValue("diffX", {"ballX", "paddleX"}, "checkPaddle",
+                     featureValue(Fs, "diffX"));
+    T.recordDefValue("paddleHalf", {}, "checkPaddle",
+                     featureValue(Fs, "paddleHalf"));
+    T.recordDefValue("worldW", {}, "checkPaddle", 1.0);
+    T.recordDefValue("lives", {}, "gameLoop", 1.0);
+    T.recordDefValue("missedFlag", {"diffX", "paddleHalf", "ballY"},
+                     "checkPaddle", Missed);
+    T.recordDefValue("bricksLeft", {"ballX", "ballY"}, "checkBricks",
+                     featureValue(Fs, "bricksLeft"));
+    T.recordDefValue("clearedFrac", {"bricksLeft"}, "checkBricks",
+                     featureValue(Fs, "clearedFrac"));
+    T.recordDefValue("rowY", {}, "checkBricks", featureValue(Fs, "rowY"));
+    T.recordDef("reward",
+                {"missedFlag", "clearedFrac", "paddleDir", "actionKey"},
+                "gameLoop");
+    step(Action);
+  }
+}
+
+void ArkanoidEnv::saveState(std::vector<uint8_t> &Out) const {
+  Out.clear();
+  putPod(Out, PaddleX);
+  putPod(Out, BallX);
+  putPod(Out, BallY);
+  putPod(Out, BallVx);
+  putPod(Out, BallVy);
+  putPod(Out, Missed);
+  putVec(Out, Bricks);
+}
+
+void ArkanoidEnv::loadState(const std::vector<uint8_t> &In) {
+  size_t Off = 0;
+  getPod(In, Off, PaddleX);
+  getPod(In, Off, BallX);
+  getPod(In, Off, BallY);
+  getPod(In, Off, BallVx);
+  getPod(In, Off, BallVy);
+  getPod(In, Off, Missed);
+  getVec(In, Off, Bricks);
+}

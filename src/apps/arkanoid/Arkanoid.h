@@ -1,0 +1,72 @@
+//===- apps/arkanoid/Arkanoid.h - Arkanoid benchmark program ---*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature of the Arkanoid benchmark (the paper annotates the LaiNES
+/// emulator and uses the exported game variables; we expose the same
+/// variables from a reimplementation of the game logic). A wide paddle
+/// deflects a ball through a mid-screen brick field; the episode succeeds
+/// when every brick is cleared and fails when the ball is missed.
+///
+/// The paper's score is the pair (cleared fraction, all-cleared success
+/// rate) — progress() and success() here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_APPS_ARKANOID_ARKANOID_H
+#define AU_APPS_ARKANOID_ARKANOID_H
+
+#include "apps/common/GameEnv.h"
+
+namespace au {
+namespace apps {
+
+/// Actions: 0 = left, 1 = stay, 2 = right.
+class ArkanoidEnv : public GameEnv {
+public:
+  const char *name() const override { return "arkanoid"; }
+  void reset(uint64_t Seed) override;
+  int numActions() const override { return 3; }
+  float step(int Action) override;
+  bool terminal() const override { return Missed || cleared() == NumBricks; }
+  bool success() const override { return cleared() == NumBricks; }
+  double progress() const override {
+    return static_cast<double>(cleared()) / NumBricks;
+  }
+  int heuristicAction(Rng &R) const override;
+  std::vector<Feature> features() const override;
+  Image renderFrame(int Side) const override;
+  void profile(analysis::Tracer &T, int Steps) override;
+  std::vector<std::string> targetVariables() const override {
+    return {"paddleDir", "actionKey"};
+  }
+
+  void saveState(std::vector<uint8_t> &Out) const override;
+  void loadState(const std::vector<uint8_t> &In) override;
+
+  static constexpr double WorldW = 20.0;
+  static constexpr double WorldH = 20.0;
+  static constexpr double PaddleHalf = 2.5;
+  static constexpr int BrickRows = 4;
+  static constexpr int BrickCols = 8;
+  static constexpr int NumBricks = BrickRows * BrickCols;
+
+  int cleared() const;
+
+private:
+  void bounceBricks();
+
+  double PaddleX = WorldW / 2;
+  double BallX = WorldW / 2, BallY = 3.0;
+  double BallVx = 0.35, BallVy = 0.45;
+  bool Missed = false;
+  std::vector<uint8_t> Bricks; // Row-major brick liveness.
+};
+
+} // namespace apps
+} // namespace au
+
+#endif // AU_APPS_ARKANOID_ARKANOID_H

@@ -1,0 +1,220 @@
+//===- apps/breakout/Breakout.cpp - Breakout benchmark program -----------===//
+
+#include "apps/breakout/Breakout.h"
+
+#include "apps/common/ByteIO.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace au;
+using namespace au::apps;
+
+// Brick band near the top of the screen, world Y in [18, 22).
+static constexpr double BrickTop = 22.0;
+static constexpr double BrickBottom = 18.0;
+
+void BreakoutEnv::reset(uint64_t Seed) {
+  Rng Jitter(Seed);
+  Bricks.assign(NumBricks, 1);
+  PaddleX = WorldW / 2;
+  BallX = WorldW / 2 + Jitter.uniform(-3.0, 3.0);
+  BallY = 4.0;
+  BallVx = Jitter.chance(0.5) ? 0.3 : -0.3;
+  BallVx += Jitter.uniform(-0.05, 0.05);
+  BallVy = 0.5;
+  SpeedScale = 1.0;
+  Hits = 0;
+  Missed = false;
+}
+
+void BreakoutEnv::bounceBricks() {
+  if (BallY < BrickBottom || BallY >= BrickTop)
+    return;
+  int Row = static_cast<int>((BallY - BrickBottom) / (BrickTop - BrickBottom) *
+                             BrickRows);
+  int Col = static_cast<int>(BallX / WorldW * BrickCols);
+  Row = std::clamp(Row, 0, BrickRows - 1);
+  Col = std::clamp(Col, 0, BrickCols - 1);
+  uint8_t &B = Bricks[static_cast<size_t>(Row) * BrickCols + Col];
+  if (B) {
+    B = 0;
+    ++Hits;
+    BallVy = -BallVy;
+    // Atari-style speed-up as the wall is chewed through.
+    SpeedScale = std::min(1.6, 1.0 + 0.04 * Hits);
+  }
+}
+
+float BreakoutEnv::step(int Action) {
+  if (terminal())
+    return 0.0f;
+  if (Action == 0)
+    PaddleX = std::max(PaddleHalf, PaddleX - 0.7);
+  else if (Action == 2)
+    PaddleX = std::min(WorldW - PaddleHalf, PaddleX + 0.7);
+
+  int Before = Hits;
+  BallX += BallVx * SpeedScale;
+  BallY += BallVy * SpeedScale;
+
+  if (BallX <= 0.0) {
+    BallX = -BallX;
+    BallVx = -BallVx;
+  } else if (BallX >= WorldW) {
+    BallX = 2 * WorldW - BallX;
+    BallVx = -BallVx;
+  }
+  if (BallY >= WorldH) {
+    BallY = 2 * WorldH - BallY;
+    BallVy = -BallVy;
+  }
+
+  bounceBricks();
+
+  if (BallY <= 1.0 && BallVy < 0) {
+    if (std::abs(BallX - PaddleX) <= PaddleHalf) {
+      BallVy = -BallVy;
+      BallY = 2.0 - BallY;
+      BallVx += 0.3 * (BallX - PaddleX) / PaddleHalf;
+      BallVx = clamp(BallVx, -0.65, 0.65);
+    } else if (BallY <= 0.0) {
+      Missed = true;
+      return -10.0f;
+    }
+  }
+
+  int Gained = Hits - Before;
+  if (Hits == NumBricks)
+    return 10.0f;
+  return Gained > 0 ? 3.0f : 0.01f;
+}
+
+int BreakoutEnv::heuristicAction(Rng &R) const {
+  (void)R;
+  double Diff = BallX - PaddleX;
+  if (Diff > 0.35)
+    return 2;
+  if (Diff < -0.35)
+    return 0;
+  return 1;
+}
+
+std::vector<Feature> BreakoutEnv::features() const {
+  return {
+      {"ballX", static_cast<float>(BallX / WorldW)},
+      {"ballY", static_cast<float>(BallY / WorldH)},
+      {"ballVx", static_cast<float>(BallVx)},
+      {"ballVy", static_cast<float>(BallVy)},
+      {"paddleX", static_cast<float>(PaddleX / WorldW)},
+      {"diffX", static_cast<float>((BallX - PaddleX) / WorldW)},
+      {"speedScale", static_cast<float>(SpeedScale)},
+      {"hitCount", static_cast<float>(Hits) / NumBricks},
+      {"ballPosX", static_cast<float>(BallX / WorldW)}, // alias
+      {"padX", static_cast<float>(PaddleX / WorldW)},   // alias
+      {"paddleHalf", static_cast<float>(PaddleHalf / WorldW)}, // constant
+      {"worldW", 1.0f},                                 // constant
+      {"lives", 1.0f},                                  // constant
+      {"missedFlag", Missed ? 1.0f : 0.0f},
+      {"brickBand", static_cast<float>(BrickBottom / WorldH)}, // constant
+      {"scoreVal", static_cast<float>(Hits) / NumBricks},      // alias
+  };
+}
+
+Image BreakoutEnv::renderFrame(int Side) const {
+  Image Frame(Side, Side, 0.0f);
+  auto PxX = [&](double V) {
+    return std::clamp(static_cast<int>(V / WorldW * (Side - 1)), 0, Side - 1);
+  };
+  auto PxY = [&](double V) {
+    return std::clamp(Side - 1 - static_cast<int>(V / WorldH * (Side - 1)), 0,
+                      Side - 1);
+  };
+  for (int Row = 0; Row < BrickRows; ++Row)
+    for (int Col = 0; Col < BrickCols; ++Col) {
+      if (!Bricks[static_cast<size_t>(Row) * BrickCols + Col])
+        continue;
+      double Wy = BrickBottom +
+                  (Row + 0.5) / BrickRows * (BrickTop - BrickBottom);
+      double Wx = (Col + 0.5) / BrickCols * WorldW;
+      Frame.at(PxX(Wx), PxY(Wy)) = 0.5f;
+    }
+  Frame.at(PxX(BallX), PxY(BallY)) = 1.0f;
+  int Py = Side - 2;
+  for (double Dx = -PaddleHalf; Dx <= PaddleHalf; Dx += 0.5)
+    Frame.at(PxX(PaddleX + Dx), Py) = 0.8f;
+  return Frame;
+}
+
+void BreakoutEnv::profile(analysis::Tracer &T, int Steps) {
+  reset(/*Seed=*/0x7777 << 8);
+  T.markInput("joystick");
+  Rng R(31);
+  for (int S = 0; S < Steps && !terminal(); ++S) {
+    int Action = heuristicAction(R);
+    std::vector<Feature> Fs = features();
+    T.recordDefValue("paddleDir", {"joystick"}, "handleInput", Action - 1);
+    T.recordDefValue("actionKey", {"joystick"}, "handleInput", Action);
+    T.recordDefValue("paddleX", {"paddleX", "paddleDir"}, "updatePaddle",
+                     featureValue(Fs, "paddleX"));
+    T.recordDefValue("padX", {"paddleX"}, "updatePaddle",
+                     featureValue(Fs, "padX"));
+    T.recordDefValue("ballX", {"ballX", "ballVx", "speedScale"}, "updateBall",
+                     featureValue(Fs, "ballX"));
+    T.recordDefValue("ballY", {"ballY", "ballVy", "speedScale"}, "updateBall",
+                     featureValue(Fs, "ballY"));
+    T.recordDefValue("ballPosX", {"ballX"}, "updateBall",
+                     featureValue(Fs, "ballPosX"));
+    T.recordDefValue("ballVx", {"ballVx", "diffX"}, "updateBall",
+                     featureValue(Fs, "ballVx"));
+    T.recordDefValue("ballVy", {"ballVy"}, "updateBall",
+                     featureValue(Fs, "ballVy"));
+    T.recordDefValue("speedScale", {"hitCount"}, "updateBall",
+                     featureValue(Fs, "speedScale"));
+    T.recordDefValue("diffX", {"ballX", "paddleX"}, "checkPaddle",
+                     featureValue(Fs, "diffX"));
+    T.recordDefValue("paddleHalf", {}, "checkPaddle",
+                     featureValue(Fs, "paddleHalf"));
+    T.recordDefValue("worldW", {}, "checkPaddle", 1.0);
+    T.recordDefValue("lives", {}, "gameLoop", 1.0);
+    T.recordDefValue("missedFlag", {"diffX", "paddleHalf", "ballY"},
+                     "checkPaddle", Missed);
+    T.recordDefValue("hitCount", {"ballX", "ballY"}, "checkBricks",
+                     featureValue(Fs, "hitCount"));
+    T.recordDefValue("scoreVal", {"hitCount"}, "checkBricks",
+                     featureValue(Fs, "scoreVal"));
+    T.recordDefValue("brickBand", {}, "checkBricks",
+                     featureValue(Fs, "brickBand"));
+    T.recordDef("reward",
+                {"missedFlag", "hitCount", "paddleDir", "actionKey"},
+                "gameLoop");
+    step(Action);
+  }
+}
+
+void BreakoutEnv::saveState(std::vector<uint8_t> &Out) const {
+  Out.clear();
+  putPod(Out, PaddleX);
+  putPod(Out, BallX);
+  putPod(Out, BallY);
+  putPod(Out, BallVx);
+  putPod(Out, BallVy);
+  putPod(Out, SpeedScale);
+  putPod(Out, Hits);
+  putPod(Out, Missed);
+  putVec(Out, Bricks);
+}
+
+void BreakoutEnv::loadState(const std::vector<uint8_t> &In) {
+  size_t Off = 0;
+  getPod(In, Off, PaddleX);
+  getPod(In, Off, BallX);
+  getPod(In, Off, BallY);
+  getPod(In, Off, BallVx);
+  getPod(In, Off, BallVy);
+  getPod(In, Off, SpeedScale);
+  getPod(In, Off, Hits);
+  getPod(In, Off, Missed);
+  getVec(In, Off, Bricks);
+}

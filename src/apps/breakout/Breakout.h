@@ -1,0 +1,72 @@
+//===- apps/breakout/Breakout.h - Breakout benchmark program ---*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature of the Atari Breakout benchmark (the paper annotates the
+/// Stella emulator; we reimplement the game logic). Unlike Arkanoid it has
+/// a narrow paddle, brick rows packed at the top of the screen, and a ball
+/// that speeds up as bricks fall — the episode ends at the first miss, and
+/// the paper's score is the number of bricks hit before missing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_APPS_BREAKOUT_BREAKOUT_H
+#define AU_APPS_BREAKOUT_BREAKOUT_H
+
+#include "apps/common/GameEnv.h"
+
+namespace au {
+namespace apps {
+
+/// Actions: 0 = left, 1 = stay, 2 = right.
+class BreakoutEnv : public GameEnv {
+public:
+  const char *name() const override { return "breakout"; }
+  void reset(uint64_t Seed) override;
+  int numActions() const override { return 3; }
+  float step(int Action) override;
+  bool terminal() const override { return Missed || Hits == NumBricks; }
+  bool success() const override { return Hits == NumBricks; }
+  double progress() const override {
+    return static_cast<double>(Hits) / NumBricks;
+  }
+  int heuristicAction(Rng &R) const override;
+  std::vector<Feature> features() const override;
+  Image renderFrame(int Side) const override;
+  void profile(analysis::Tracer &T, int Steps) override;
+  std::vector<std::string> targetVariables() const override {
+    return {"paddleDir", "actionKey"};
+  }
+
+  void saveState(std::vector<uint8_t> &Out) const override;
+  void loadState(const std::vector<uint8_t> &In) override;
+
+  /// Bricks hit this episode — the paper's Breakout score.
+  int bricksHit() const { return Hits; }
+
+  static constexpr double WorldW = 20.0;
+  static constexpr double WorldH = 24.0;
+  static constexpr double PaddleHalf = 1.6;
+  static constexpr int BrickRows = 3;
+  static constexpr int BrickCols = 10;
+  static constexpr int NumBricks = BrickRows * BrickCols;
+
+private:
+  void bounceBricks();
+
+  double PaddleX = WorldW / 2;
+  double BallX = WorldW / 2, BallY = 4.0;
+  double BallVx = 0.3, BallVy = 0.5;
+  double SpeedScale = 1.0;
+  int Hits = 0;
+  bool Missed = false;
+  std::vector<uint8_t> Bricks;
+};
+
+} // namespace apps
+} // namespace au
+
+#endif // AU_APPS_BREAKOUT_BREAKOUT_H

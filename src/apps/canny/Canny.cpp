@@ -1,0 +1,432 @@
+//===- apps/canny/Canny.cpp - Canny edge-detection benchmark -------------===//
+
+#include "apps/canny/Canny.h"
+
+#include "support/Rng.h"
+#include "support/Ssim.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+using namespace au;
+using namespace au::apps;
+using analysis::SlPick;
+
+//===----------------------------------------------------------------------===//
+// The detector
+//===----------------------------------------------------------------------===//
+
+/// Upper magnitude covered by the histogram bins (larger values clamp into
+/// the top bin). Sobel magnitudes of [0,1] images rarely exceed this.
+static constexpr float HistRange = 1.5f;
+
+/// Builds the 32-bin normalized histogram of gradient magnitudes over the
+/// fixed range [0, HistRange]. Fixed binning keeps absolute contrast
+/// visible in the histogram shape, which the threshold choice depends on.
+static std::vector<float> magnitudeHistogram(const Image &Mag) {
+  std::vector<float> Hist(CannyHistBins, 0.0f);
+  for (float V : Mag.data()) {
+    int Bin = std::min(CannyHistBins - 1,
+                       static_cast<int>(V / HistRange * CannyHistBins));
+    Hist[Bin] += 1.0f;
+  }
+  float N = static_cast<float>(Mag.size());
+  for (float &H : Hist)
+    H /= N;
+  return Hist;
+}
+
+/// Magnitude value below which \p Frac of all pixels fall, derived from the
+/// histogram exactly as hysteresis() in the original program does.
+static float histogramThreshold(const std::vector<float> &Hist, double Frac) {
+  double Cum = 0.0;
+  for (int B = 0; B < CannyHistBins; ++B) {
+    Cum += Hist[B];
+    if (Cum >= Frac)
+      return HistRange * static_cast<float>(B + 1) / CannyHistBins;
+  }
+  return HistRange;
+}
+
+/// Non-maximum suppression along the quantized gradient direction.
+static Image nonMaxSuppress(const Image &Mag, const Image &Gx,
+                            const Image &Gy) {
+  Image Out(Mag.width(), Mag.height(), 0.0f);
+  for (int Y = 0; Y < Mag.height(); ++Y)
+    for (int X = 0; X < Mag.width(); ++X) {
+      float M = Mag.at(X, Y);
+      if (M <= 0.0f)
+        continue;
+      double Angle = std::atan2(Gy.at(X, Y), Gx.at(X, Y));
+      // Quantize to 4 directions: 0, 45, 90, 135 degrees.
+      int Dir = static_cast<int>(
+                    std::round(Angle / (3.14159265358979 / 4.0))) &
+                3;
+      static const int DX[4] = {1, 1, 0, -1};
+      static const int DY[4] = {0, 1, 1, 1};
+      float A = Mag.atClamped(X + DX[Dir], Y + DY[Dir]);
+      float B = Mag.atClamped(X - DX[Dir], Y - DY[Dir]);
+      if (M >= A && M >= B)
+        Out.at(X, Y) = M;
+    }
+  return Out;
+}
+
+/// Double-threshold hysteresis: strong pixels seed a flood fill through
+/// weak pixels.
+static Image hysteresis(const Image &Nms, float Lo, float Hi) {
+  Image Out(Nms.width(), Nms.height(), 0.0f);
+  std::deque<std::pair<int, int>> Work;
+  for (int Y = 0; Y < Nms.height(); ++Y)
+    for (int X = 0; X < Nms.width(); ++X)
+      if (Nms.at(X, Y) >= Hi) {
+        Out.at(X, Y) = 1.0f;
+        Work.emplace_back(X, Y);
+      }
+  while (!Work.empty()) {
+    auto [X, Y] = Work.front();
+    Work.pop_front();
+    for (int J = -1; J <= 1; ++J)
+      for (int I = -1; I <= 1; ++I) {
+        int Nx = X + I, Ny = Y + J;
+        if (!Out.inBounds(Nx, Ny) || Out.at(Nx, Ny) > 0.0f)
+          continue;
+        if (Nms.at(Nx, Ny) >= Lo) {
+          Out.at(Nx, Ny) = 1.0f;
+          Work.emplace_back(Nx, Ny);
+        }
+      }
+  }
+  return Out;
+}
+
+Image au::apps::cannyDetect(const Image &In, const CannyParams &P,
+                            CannyTrace *Trace) {
+  Image SImg = gaussianSmooth(In, P.Sigma);
+  Image Gx, Gy;
+  sobel(SImg, Gx, Gy);
+  Image Mag = gradientMagnitude(Gx, Gy);
+  std::vector<float> Hist = magnitudeHistogram(Mag);
+  float Hi = histogramThreshold(Hist, P.HiFrac);
+  float Lo = static_cast<float>(P.LoFrac) * Hi;
+  Image Nms = nonMaxSuppress(Mag, Gx, Gy);
+  if (Trace) {
+    Trace->Smoothed = SImg;
+    Trace->Magnitude = Mag;
+    Trace->Hist = Hist;
+  }
+  return hysteresis(Nms, Lo, Hi);
+}
+
+//===----------------------------------------------------------------------===//
+// Synthetic scenes with analytic ground truth
+//===----------------------------------------------------------------------===//
+
+/// Draws a filled axis-aligned rectangle and its boundary into the truth.
+static void drawRect(Image &Img, Image &Truth, int X0, int Y0, int X1, int Y1,
+                     float Level) {
+  X0 = std::clamp(X0, 0, Img.width() - 1);
+  X1 = std::clamp(X1, 0, Img.width() - 1);
+  Y0 = std::clamp(Y0, 0, Img.height() - 1);
+  Y1 = std::clamp(Y1, 0, Img.height() - 1);
+  for (int Y = Y0; Y <= Y1; ++Y)
+    for (int X = X0; X <= X1; ++X) {
+      Img.at(X, Y) = Level;
+      bool Boundary = X == X0 || X == X1 || Y == Y0 || Y == Y1;
+      if (Boundary)
+        Truth.at(X, Y) = 1.0f;
+    }
+}
+
+/// Draws a filled circle and its boundary ring.
+static void drawCircle(Image &Img, Image &Truth, double Cx, double Cy,
+                       double R, float Level) {
+  for (int Y = 0; Y < Img.height(); ++Y)
+    for (int X = 0; X < Img.width(); ++X) {
+      double D = std::hypot(X - Cx, Y - Cy);
+      if (D <= R)
+        Img.at(X, Y) = Level;
+      if (std::abs(D - R) <= 0.7)
+        Truth.at(X, Y) = 1.0f;
+    }
+}
+
+CannyScene au::apps::makeCannyScene(uint64_t Seed, int Side) {
+  Rng R(Seed * 2654435761u + 11);
+  CannyScene S;
+  S.Input = Image(Side, Side, static_cast<float>(R.uniform(0.05, 0.25)));
+  S.Truth = Image(Side, Side, 0.0f);
+
+  int NumRects = static_cast<int>(R.uniformInt(2, 3));
+  for (int I = 0; I < NumRects; ++I) {
+    int X0 = static_cast<int>(R.uniformInt(2, Side - 20));
+    int Y0 = static_cast<int>(R.uniformInt(2, Side - 20));
+    int W = static_cast<int>(R.uniformInt(8, 18));
+    int H = static_cast<int>(R.uniformInt(8, 18));
+    drawRect(S.Input, S.Truth, X0, Y0, X0 + W, Y0 + H,
+             static_cast<float>(R.uniform(0.4, 0.95)));
+  }
+  int NumCircles = static_cast<int>(R.uniformInt(1, 2));
+  for (int I = 0; I < NumCircles; ++I)
+    drawCircle(S.Input, S.Truth, R.uniform(12, Side - 12),
+               R.uniform(12, Side - 12), R.uniform(5, 10),
+               static_cast<float>(R.uniform(0.35, 0.9)));
+
+  // Per-scene distortions: these are what make the ideal parameters vary.
+  S.Blur = R.uniform(0.0, 1.2);
+  S.Contrast = R.uniform(0.35, 1.0);
+  S.Noise = R.uniform(0.01, 0.14);
+  S.Input = gaussianSmooth(S.Input, S.Blur);
+  for (float &P : S.Input.data()) {
+    P = static_cast<float>(P * S.Contrast + R.normal(0.0, S.Noise));
+    P = std::clamp(P, 0.0f, 1.0f);
+  }
+  return S;
+}
+
+double au::apps::cannyScore(const Image &Edges, const Image &Truth) {
+  return ssim(Edges, Truth);
+}
+
+CannyParams au::apps::autotuneCanny(const CannyScene &Scene) {
+  static const double Sigmas[] = {0.8, 1.4, 2.0, 2.6};
+  static const double His[] = {0.80, 0.88, 0.94, 0.975};
+  static const double Los[] = {0.3, 0.5, 0.7};
+  CannyParams Best;
+  double BestScore = -2.0;
+  for (double Sg : Sigmas)
+    for (double Hi : His)
+      for (double Lo : Los) {
+        CannyParams P{Sg, Lo, Hi};
+        double Score = cannyScore(cannyDetect(Scene.Input, P), Scene.Truth);
+        if (Score > BestScore) {
+          BestScore = Score;
+          Best = P;
+        }
+      }
+  return Best;
+}
+
+//===----------------------------------------------------------------------===//
+// Dependence profile (Fig. 9)
+//===----------------------------------------------------------------------===//
+
+void au::apps::cannyProfile(analysis::Tracer &T,
+                            std::vector<std::string> &Inputs,
+                            std::vector<std::string> &Targets) {
+  // One profiled execution. The dependence chain of Fig. 9:
+  // image -> sImg -> mag -> hist -> result, with lo/hi/sigma joining at
+  // their respective consumers.
+  CannyScene Scene = makeCannyScene(404);
+  CannyTrace Trace;
+  CannyParams P;
+  Image Result = cannyDetect(Scene.Input, P, &Trace);
+
+  T.markInput("image");
+  T.recordDefValue("sigma", {}, "canny", P.Sigma);
+  T.recordDefValue("lo", {}, "hysteresis", P.LoFrac);
+  T.recordDefValue("hi", {}, "hysteresis", P.HiFrac);
+  T.recordDef("sImg", {"image", "sigma"}, "smooth");
+  T.recordValue("sImg", Trace.Smoothed.at(0, 0));
+  T.recordDef("mag", {"sImg"}, "magnitude");
+  T.recordValue("mag", Trace.Magnitude.at(0, 0));
+  T.recordDef("hist", {"mag"}, "computeHist");
+  T.recordValue("hist", Trace.Hist.front());
+  // Secondary derived statistics enlarge the candidate pool, as a real
+  // program's locals would.
+  T.recordDef("maxMag", {"mag"}, "computeHist");
+  T.recordDef("histPeak", {"hist"}, "hysteresis");
+  T.recordDef("gx", {"sImg"}, "magnitude");
+  T.recordDef("gy", {"sImg"}, "magnitude");
+  T.recordDef("nms", {"mag", "gx", "gy"}, "nonMax");
+  T.recordDef("result", {"hist", "nms", "lo", "hi"}, "hysteresis");
+  T.recordValue("result", Result.at(0, 0));
+
+  Inputs = {"image"};
+  Targets = {"lo", "hi", "sigma"};
+}
+
+//===----------------------------------------------------------------------===//
+// The experiment driver (Section 6.3)
+//===----------------------------------------------------------------------===//
+
+CannyExperiment::CannyExperiment(int NumTrain, int NumTest, uint64_t S)
+    : Seed(S) {
+  for (int I = 0; I < NumTrain; ++I) {
+    TrainScenes.push_back(makeCannyScene(Seed + I));
+    TrainOracle.push_back(autotuneCanny(TrainScenes.back()));
+  }
+  for (int I = 0; I < NumTest; ++I)
+    TestScenes.push_back(makeCannyScene(Seed + 10000 + I));
+  for (auto &RT : Runtimes)
+    RT = std::make_unique<Runtime>(Mode::TR);
+}
+
+std::vector<float>
+CannyExperiment::thresholdFeature(const CannyScene &Scene,
+                                  const CannyTrace &Trace, SlPick Pick) {
+  switch (Pick) {
+  case SlPick::Min:
+    return Trace.Hist;
+  case SlPick::Med: {
+    Image Small = resize(Trace.Smoothed, CannyRawSide, CannyRawSide);
+    return Small.data();
+  }
+  case SlPick::Raw: {
+    Image Small = resize(Scene.Input, CannyRawSide, CannyRawSide);
+    return Small.data();
+  }
+  }
+  assert(false && "unknown pick");
+  return {};
+}
+
+Image CannyExperiment::runAnnotated(Runtime &RT, const CannyScene &Scene,
+                                    SlPick Pick,
+                                    const CannyParams &TrainParams) {
+  // au_config (Fig. 11 lines 14-15); idempotent after the first call.
+  ModelConfig SigmaCfg;
+  SigmaCfg.Name = "SigmaNN";
+  SigmaCfg.HiddenLayers = {48, 24};
+  SigmaCfg.Seed = Seed + 1;
+  RT.config(SigmaCfg);
+  ModelConfig ThreshCfg;
+  ThreshCfg.Name = "ThreshNN";
+  ThreshCfg.HiddenLayers = {48, 24};
+  ThreshCfg.Seed = Seed + 2;
+  RT.config(ThreshCfg);
+
+  CannyParams P = TrainParams;
+
+  // 1. Gaussian smoothing: predict sigma from the (downsampled) image.
+  Image Small = resize(Scene.Input, CannyFeatureSide, CannyFeatureSide);
+  RT.extract("IMG", Small.size(), Small.data().data());
+  RT.nn("SigmaNN", "IMG", {{"SIGMA", 1}});
+  float SigmaV = static_cast<float>(P.Sigma);
+  RT.writeBack("SIGMA", 1, &SigmaV);
+  P.Sigma = clamp(SigmaV, 0.6, 3.0);
+
+  // 2. Run the pipeline up to the histogram with the default parameters —
+  // a fixed reference pass, so the extracted features have the same
+  // distribution in training and deployment — then predict the thresholds
+  // from the version's feature.
+  CannyTrace Trace;
+  cannyDetect(Scene.Input, CannyParams(), &Trace);
+  std::vector<float> Feat = thresholdFeature(Scene, Trace, Pick);
+  const char *FeatName = Pick == SlPick::Min
+                             ? "HIST"
+                             : (Pick == SlPick::Med ? "SIMG" : "RAWIMG");
+  RT.extract(FeatName, Feat.size(), Feat.data());
+  RT.nn("ThreshNN", FeatName, {{"LO", 1}, {"HI", 1}});
+  float LoV = static_cast<float>(P.LoFrac);
+  float HiV = static_cast<float>(P.HiFrac);
+  RT.writeBack("LO", 1, &LoV);
+  RT.writeBack("HI", 1, &HiV);
+  P.LoFrac = clamp(LoV, 0.1, 0.95);
+  P.HiFrac = clamp(HiV, 0.3, 0.985);
+
+  // 3. Final detection with the resolved parameters.
+  return cannyDetect(Scene.Input, P);
+}
+
+double CannyExperiment::train(SlPick Pick, int Epochs) {
+  Runtime &RT = *Runtimes[Idx(Pick)];
+  assert(RT.mode() == Mode::TR && "training twice on the same version");
+  Timer T;
+  for (size_t I = 0; I != TrainScenes.size(); ++I)
+    runAnnotated(RT, TrainScenes[I], Pick, TrainOracle[I]);
+  RT.trainSupervised("SigmaNN", Epochs, 16);
+  RT.trainSupervised("ThreshNN", Epochs, 16);
+  double Secs = T.seconds();
+  TraceBytesPer[Idx(Pick)] = RT.stats().traceBytes();
+  ModelBytesPer[Idx(Pick)] = RT.getModel("SigmaNN")->modelSizeBytes() +
+                             RT.getModel("ThreshNN")->modelSizeBytes();
+  RT.switchMode(Mode::TS);
+  return Secs;
+}
+
+std::vector<std::pair<int, double>>
+CannyExperiment::trainEpochCurve(SlPick Pick,
+                                 const std::vector<int> &EpochPoints) {
+  Runtime &RT = *Runtimes[Idx(Pick)];
+  assert(RT.mode() == Mode::TR && "curve training on an already-trained run");
+  for (size_t I = 0; I != TrainScenes.size(); ++I)
+    runAnnotated(RT, TrainScenes[I], Pick, TrainOracle[I]);
+  TraceBytesPer[Idx(Pick)] = RT.stats().traceBytes();
+  ModelBytesPer[Idx(Pick)] = RT.getModel("SigmaNN")->modelSizeBytes() +
+                             RT.getModel("ThreshNN")->modelSizeBytes();
+  std::vector<std::pair<int, double>> Curve;
+  int Done = 0;
+  for (int Point : EpochPoints) {
+    assert(Point >= Done && "epoch points must ascend");
+    if (Point > Done) {
+      RT.trainSupervised("SigmaNN", Point - Done, 16);
+      RT.trainSupervised("ThreshNN", Point - Done, 16);
+      Done = Point;
+    }
+    RT.switchMode(Mode::TS);
+    Curve.emplace_back(Point, testScore(Pick));
+    RT.switchMode(Mode::TR);
+  }
+  RT.switchMode(Mode::TS);
+  return Curve;
+}
+
+std::vector<double> CannyExperiment::perSceneScores(SlPick Pick) {
+  Runtime &RT = *Runtimes[Idx(Pick)];
+  assert(RT.mode() == Mode::TS && "test before train");
+  std::vector<double> Scores;
+  for (const CannyScene &Scene : TestScenes) {
+    Image Edges = runAnnotated(RT, Scene, Pick, CannyParams());
+    Scores.push_back(cannyScore(Edges, Scene.Truth));
+  }
+  return Scores;
+}
+
+double CannyExperiment::testScore(SlPick Pick) {
+  return mean(perSceneScores(Pick));
+}
+
+double CannyExperiment::baselineScore() {
+  std::vector<double> Scores;
+  for (const CannyScene &Scene : TestScenes)
+    Scores.push_back(
+        cannyScore(cannyDetect(Scene.Input, CannyParams()), Scene.Truth));
+  return mean(Scores);
+}
+
+double CannyExperiment::oracleScore() {
+  std::vector<double> Scores;
+  for (const CannyScene &Scene : TestScenes) {
+    CannyParams P = autotuneCanny(Scene);
+    Scores.push_back(cannyScore(cannyDetect(Scene.Input, P), Scene.Truth));
+  }
+  return mean(Scores);
+}
+
+double CannyExperiment::autonomizedExecSeconds(SlPick Pick) {
+  Runtime &RT = *Runtimes[Idx(Pick)];
+  assert(RT.mode() == Mode::TS && "timing requires a trained version");
+  Timer T;
+  for (const CannyScene &Scene : TestScenes)
+    runAnnotated(RT, Scene, Pick, CannyParams());
+  return T.seconds() / static_cast<double>(TestScenes.size());
+}
+
+double CannyExperiment::baselineExecSeconds() {
+  Timer T;
+  for (const CannyScene &Scene : TestScenes)
+    cannyDetect(Scene.Input, CannyParams());
+  return T.seconds() / static_cast<double>(TestScenes.size());
+}
+
+size_t CannyExperiment::traceBytes(SlPick Pick) const {
+  return TraceBytesPer[static_cast<int>(Pick)];
+}
+
+size_t CannyExperiment::modelBytes(SlPick Pick) const {
+  return ModelBytesPer[static_cast<int>(Pick)];
+}

@@ -1,0 +1,153 @@
+//===- apps/canny/Canny.h - Canny edge-detection benchmark -----*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A real Canny edge detector (Canny 1986) — Gaussian smoothing, Sobel
+/// gradients, non-maximum suppression and histogram-driven hysteresis — the
+/// paper's primary supervised-learning case study. The three parameters the
+/// user annotates as target variables are exactly the paper's: sigma for
+/// the Gaussian smoothing and the low/high hysteresis thresholds.
+///
+/// The dataset is synthetic: scenes of known shapes whose analytic
+/// boundaries provide exact ground-truth edge maps (substituting the
+/// paper's expert-labelled images), distorted by per-image blur, contrast
+/// and noise so the ideal parameters genuinely vary per input. A
+/// grid-search autotuning oracle produces the per-image ideal parameters
+/// that TR-mode runs record as labels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_APPS_CANNY_CANNY_H
+#define AU_APPS_CANNY_CANNY_H
+
+#include "analysis/FeatureExtraction.h"
+#include "core/Runtime.h"
+#include "support/Image.h"
+
+namespace au {
+namespace apps {
+
+/// The three annotated parameters.
+struct CannyParams {
+  double Sigma = 1.4;   ///< Gaussian smoothing width.
+  double LoFrac = 0.5;  ///< Low threshold as a fraction of the high one.
+  double HiFrac = 0.75; ///< High threshold as a magnitude percentile.
+};
+
+/// Intermediate program state surfaced for feature extraction: the
+/// variables of Fig. 9 (image -> sImg -> mag -> hist -> result).
+struct CannyTrace {
+  Image Smoothed;
+  Image Magnitude;
+  std::vector<float> Hist; ///< 32-bin normalized magnitude histogram.
+};
+
+/// Number of magnitude histogram bins (the Min feature).
+inline constexpr int CannyHistBins = 32;
+
+/// Side length of the shared SigmaNN image input.
+inline constexpr int CannyFeatureSide = 16;
+
+/// Side length of the Med / Raw threshold features. Deliberately large
+/// (the paper's Raw/Med carry the full 62500-pixel image): the point of
+/// the Min version is that the 32-bin histogram carries the same decision
+/// information in a far smaller, easier-to-fit input.
+inline constexpr int CannyRawSide = 32;
+
+/// Runs the detector; returns a binary edge map. \p Trace, when non-null,
+/// receives the intermediates.
+Image cannyDetect(const Image &In, const CannyParams &P,
+                  CannyTrace *Trace = nullptr);
+
+/// A synthetic test scene with analytic ground truth.
+struct CannyScene {
+  Image Input;
+  Image Truth;
+  double Noise = 0.0;
+  double Blur = 0.0;
+  double Contrast = 1.0;
+};
+
+/// Generates a deterministic scene (shapes + blur + contrast + noise).
+CannyScene makeCannyScene(uint64_t Seed, int Side = 64);
+
+/// Edge-quality score against the ground truth (mean SSIM, the paper's
+/// metric). Higher is better.
+double cannyScore(const Image &Edges, const Image &Truth);
+
+/// Grid-search autotuning oracle: the per-image ideal parameters.
+CannyParams autotuneCanny(const CannyScene &Scene);
+
+/// Records the dynamic dependence structure of one Canny run into \p T,
+/// reproducing Fig. 9. Returns the target-variable names {"lo","hi",
+/// "sigma"} through \p Targets and the input names through \p Inputs.
+void cannyProfile(analysis::Tracer &T, std::vector<std::string> &Inputs,
+                  std::vector<std::string> &Targets);
+
+/// One complete autonomization experiment over the synthetic datasets,
+/// comparing the Raw / Med / Min feature versions of Algorithm 1 against
+/// the default-parameter baseline (Section 6.3).
+class CannyExperiment {
+public:
+  CannyExperiment(int NumTrain, int NumTest, uint64_t Seed);
+
+  /// Trains the SigmaNN and threshold models for \p Pick through the
+  /// runtime primitives (TR mode), for \p Epochs epochs.
+  /// Returns training wall time in seconds.
+  double train(analysis::SlPick Pick, int Epochs);
+
+  /// Mean score of the trained \p Pick version on the held-out scenes.
+  double testScore(analysis::SlPick Pick);
+
+  /// Per-test-scene scores (Fig. 12).
+  std::vector<double> perSceneScores(analysis::SlPick Pick);
+
+  /// Trains incrementally and records the test score at each cumulative
+  /// epoch count in \p EpochPoints (ascending) — the Fig. 13 curve.
+  std::vector<std::pair<int, double>>
+  trainEpochCurve(analysis::SlPick Pick, const std::vector<int> &EpochPoints);
+
+  /// Mean score with the default parameters (the baseline row).
+  double baselineScore();
+
+  /// Mean score with the per-image autotuned oracle (upper reference).
+  double oracleScore();
+
+  /// Mean detector execution seconds per image, with (autonomized) and
+  /// without (plain) the primitives.
+  double autonomizedExecSeconds(analysis::SlPick Pick);
+  double baselineExecSeconds();
+
+  /// Table 2 accounting for the last train() of \p Pick.
+  size_t traceBytes(analysis::SlPick Pick) const;
+  size_t modelBytes(analysis::SlPick Pick) const;
+
+private:
+  /// Runs one scene through the annotated program (Fig. 11) under \p RT.
+  Image runAnnotated(Runtime &RT, const CannyScene &Scene,
+                     analysis::SlPick Pick, const CannyParams &TrainParams);
+
+  /// The feature vector each version extracts.
+  static std::vector<float> thresholdFeature(const CannyScene &Scene,
+                                             const CannyTrace &Trace,
+                                             analysis::SlPick Pick);
+
+  int Idx(analysis::SlPick Pick) const { return static_cast<int>(Pick); }
+
+  std::vector<CannyScene> TrainScenes;
+  std::vector<CannyParams> TrainOracle;
+  std::vector<CannyScene> TestScenes;
+  uint64_t Seed;
+  // One runtime per version so the models stay independent.
+  std::vector<std::unique_ptr<Runtime>> Runtimes{3};
+  size_t TraceBytesPer[3] = {0, 0, 0};
+  size_t ModelBytesPer[3] = {0, 0, 0};
+};
+
+} // namespace apps
+} // namespace au
+
+#endif // AU_APPS_CANNY_CANNY_H

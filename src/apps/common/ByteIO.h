@@ -1,0 +1,63 @@
+//===- apps/common/ByteIO.h - State (de)serialization helpers --*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny append/read helpers the game environments use to implement
+/// Checkpointable (saveState/loadState) over a flat byte buffer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_APPS_COMMON_BYTEIO_H
+#define AU_APPS_COMMON_BYTEIO_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+namespace au {
+namespace apps {
+
+/// Appends a trivially copyable value to \p Buf.
+template <typename T> void putPod(std::vector<uint8_t> &Buf, const T &V) {
+  static_assert(std::is_trivially_copyable_v<T>, "non-POD state");
+  size_t Off = Buf.size();
+  Buf.resize(Off + sizeof(T));
+  std::memcpy(Buf.data() + Off, &V, sizeof(T));
+}
+
+/// Reads a trivially copyable value from \p Buf at \p Off, advancing it.
+template <typename T>
+void getPod(const std::vector<uint8_t> &Buf, size_t &Off, T &V) {
+  static_assert(std::is_trivially_copyable_v<T>, "non-POD state");
+  assert(Off + sizeof(T) <= Buf.size() && "state buffer underrun");
+  std::memcpy(&V, Buf.data() + Off, sizeof(T));
+  Off += sizeof(T);
+}
+
+/// Appends a vector of trivially copyable elements (length-prefixed).
+template <typename T>
+void putVec(std::vector<uint8_t> &Buf, const std::vector<T> &V) {
+  putPod(Buf, static_cast<uint64_t>(V.size()));
+  for (const T &E : V)
+    putPod(Buf, E);
+}
+
+/// Reads a vector written by putVec.
+template <typename T>
+void getVec(const std::vector<uint8_t> &Buf, size_t &Off, std::vector<T> &V) {
+  uint64_t N = 0;
+  getPod(Buf, Off, N);
+  V.resize(N);
+  for (uint64_t I = 0; I != N; ++I)
+    getPod(Buf, Off, V[I]);
+}
+
+} // namespace apps
+} // namespace au
+
+#endif // AU_APPS_COMMON_BYTEIO_H

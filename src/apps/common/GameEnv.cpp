@@ -1,0 +1,29 @@
+//===- apps/common/GameEnv.cpp - Interactive-program interface -----------===//
+
+#include "apps/common/GameEnv.h"
+
+#include <cassert>
+
+using namespace au;
+using namespace au::apps;
+
+GameEnv::~GameEnv() = default;
+
+float au::apps::featureValue(const std::vector<Feature> &Fs,
+                             const std::string &Name) {
+  for (const Feature &F : Fs)
+    if (F.first == Name)
+      return F.second;
+  assert(false && "unknown feature variable");
+  return 0.0f;
+}
+
+std::vector<float>
+au::apps::selectFeatures(const std::vector<Feature> &Fs,
+                         const std::vector<std::string> &Names) {
+  std::vector<float> Out;
+  Out.reserve(Names.size());
+  for (const std::string &N : Names)
+    Out.push_back(featureValue(Fs, N));
+  return Out;
+}

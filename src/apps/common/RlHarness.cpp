@@ -1,0 +1,233 @@
+//===- apps/common/RlHarness.cpp - Autonomization harness for RL ---------===//
+
+#include "apps/common/RlHarness.h"
+
+#include "support/Timer.h"
+
+#include <cassert>
+
+using namespace au;
+using namespace au::apps;
+
+/// Level seeds carry the layout in the high bits and a per-episode jitter
+/// in the low byte (see GameEnv).
+static uint64_t makeSeed(uint64_t LevelSeed, uint64_t Episode) {
+  return (LevelSeed << 8) | (Episode & 0xff);
+}
+
+std::string au::apps::rlModelName(const GameEnv &Env, RlVariant V) {
+  return std::string(Env.name()) + (V == RlVariant::All ? "_all" : "_raw");
+}
+
+std::vector<std::string>
+au::apps::selectRlFeatures(GameEnv &Env, double Epsilon1, double Epsilon2,
+                           int ProfileSteps,
+                           analysis::RlExtractionStats *Stats) {
+  analysis::Tracer T;
+  Env.profile(T, ProfileSteps);
+  std::vector<std::string> Selected = analysis::extractRlFeaturesCombined(
+      T, Env.targetVariables(), Epsilon1, Epsilon2, Stats);
+  // Keep only variables the program can hand to au_extract every frame.
+  Env.reset(0);
+  std::vector<Feature> Live = Env.features();
+  std::vector<std::string> Usable;
+  for (const std::string &Name : Selected) {
+    bool Found = false;
+    for (const Feature &F : Live)
+      Found = Found || F.first == Name;
+    if (Found)
+      Usable.push_back(Name);
+  }
+  assert(!Usable.empty() && "feature selection produced nothing extractable");
+  return Usable;
+}
+
+/// Runs the au_extract / au_serialize prologue of one loop iteration and
+/// returns the combined extraction name to feed au_NN.
+static std::string extractState(GameEnv &Env, Runtime &RT,
+                                const RlTrainOptions &Opt) {
+  if (Opt.Variant == RlVariant::Raw) {
+    Image Frame = Env.renderFrame(Opt.FrameSide);
+    RT.extract("IMG", Frame.size(), Frame.data().data());
+    return "IMG";
+  }
+  std::vector<Feature> Fs = Env.features();
+  for (const std::string &Name : Opt.FeatureNames)
+    RT.extract(Name, featureValue(Fs, Name));
+  return RT.serialize(Opt.FeatureNames);
+}
+
+/// Configures (or finds) the model for this env/variant pair.
+static Model *configureModel(GameEnv &Env, Runtime &RT,
+                             const RlTrainOptions &Opt) {
+  ModelConfig C;
+  C.Name = rlModelName(Env, Opt.Variant);
+  C.Type = Opt.Variant == RlVariant::Raw ? ModelType::CNN : ModelType::DNN;
+  C.Algo = Algorithm::QLearn;
+  C.HiddenLayers = Opt.Hidden;
+  C.FrameSide = Opt.FrameSide;
+  C.FrameChannels = 1;
+  C.Seed = Opt.Seed + (Opt.Variant == RlVariant::Raw ? 1000 : 0);
+  Model *M = RT.config(C);
+  if (!M->isBuilt())
+    static_cast<RlModel *>(M)->setQConfig(Opt.QCfg);
+  return M;
+}
+
+RlTrainResult au::apps::trainRl(GameEnv &Env, Runtime &RT,
+                                const RlTrainOptions &Opt) {
+  assert(RT.mode() == Mode::TR && "training requires TR mode");
+  RlTrainResult Res;
+  Res.ModelName = rlModelName(Env, Opt.Variant);
+  Model *M = configureModel(Env, RT, Opt);
+  WriteBackSpec Output{"output", Env.numActions()};
+
+  RT.checkpoints().registerObject(&Env);
+  Env.reset(makeSeed(Opt.Seed, 0));
+  {
+    Timer T;
+    RT.checkpoint();
+    Res.CheckpointSeconds = T.seconds();
+  }
+
+  size_t TraceStart = RT.stats().traceBytes();
+  double RestoreTotal = 0.0;
+  long Restores = 0;
+
+  Timer TrainTimer;
+  float Reward = 0.0f;
+  bool Term = false;
+  int EpisodeSteps = 0;
+
+  while (Res.StepsRun < Opt.TrainSteps) {
+    std::string ExtName = extractState(Env, RT, Opt);
+    RT.nn(Res.ModelName, ExtName, Reward, Term, Output);
+    int Action = 0;
+    RT.writeBack("output", Env.numActions(), &Action);
+
+    if (Term) {
+      ++Res.Episodes;
+      EpisodeSteps = 0;
+      Reward = 0.0f;
+      Term = false;
+      if (Res.Episodes % 8 == 0) {
+        // Periodically start from a fresh jittered episode (and re-arm the
+        // checkpoint) so learning sees level variation.
+        Env.reset(makeSeed(Opt.Seed, Res.Episodes));
+        RT.checkpoint();
+      } else {
+        Timer T;
+        RT.restore();
+        RestoreTotal += T.seconds();
+        ++Restores;
+      }
+      continue;
+    }
+
+    Reward = Env.step(Action);
+    Term = Env.terminal();
+    ++Res.StepsRun;
+    if (++EpisodeSteps >= Opt.MaxEpisodeSteps)
+      Term = true; // Truncate over-long episodes.
+
+    if (Opt.EvalEvery > 0 && Res.StepsRun % Opt.EvalEvery == 0) {
+      RlEvalResult E = evalRl(Env, RT, Opt, Opt.EvalEpisodes);
+      Res.Curve.push_back({Res.StepsRun, E.MeanProgress, E.SuccessRate});
+    }
+  }
+
+  Res.TrainSeconds = TrainTimer.seconds();
+  Res.TraceBytes = RT.stats().traceBytes() - TraceStart;
+  Res.ModelBytes = M->modelSizeBytes();
+  Res.NumParams = M->numParams();
+  if (Restores > 0)
+    Res.RestoreSeconds = RestoreTotal / static_cast<double>(Restores);
+  return Res;
+}
+
+RlEvalResult au::apps::evalRl(GameEnv &Env, Runtime &RT,
+                              const RlTrainOptions &Opt, int Episodes) {
+  assert(Episodes > 0 && "evaluation needs at least one episode");
+  std::string ModelName = rlModelName(Env, Opt.Variant);
+  assert(RT.getModel(ModelName) && "evaluating an unconfigured model");
+  WriteBackSpec Output{"output", Env.numActions()};
+
+  // Evaluation must not disturb training: stash the env state and switch
+  // the runtime to deployment mode for the duration.
+  std::vector<uint8_t> Saved;
+  Env.saveState(Saved);
+  Mode PrevMode = RT.mode();
+  RT.switchMode(Mode::TS);
+
+  RlEvalResult Res;
+  double StepTime = 0.0;
+  long Steps = 0;
+  for (int Ep = 0; Ep < Episodes; ++Ep) {
+    Env.reset(makeSeed(Opt.Seed, 100 + static_cast<uint64_t>(Ep)));
+    int EpSteps = 0;
+    while (!Env.terminal() && EpSteps < Opt.MaxEpisodeSteps) {
+      Timer T;
+      std::string ExtName = extractState(Env, RT, Opt);
+      RT.nn(ModelName, ExtName, 0.0f, false, Output);
+      int Action = 0;
+      RT.writeBack("output", Env.numActions(), &Action);
+      Env.step(Action);
+      StepTime += T.seconds();
+      ++Steps;
+      ++EpSteps;
+    }
+    Res.MeanProgress += Env.progress();
+    Res.SuccessRate += Env.success() ? 1.0 : 0.0;
+  }
+  Res.MeanProgress /= Episodes;
+  Res.SuccessRate /= Episodes;
+  Res.MeanStepSeconds = Steps > 0 ? StepTime / static_cast<double>(Steps) : 0;
+
+  RT.switchMode(PrevMode);
+  Env.loadState(Saved);
+  return Res;
+}
+
+/// Shared scripted-policy evaluation loop.
+static RlEvalResult evalScripted(GameEnv &Env, const RlTrainOptions &Opt,
+                                 int Episodes, bool Random) {
+  RlEvalResult Res;
+  Rng R(Opt.Seed * 77 + 5);
+  double StepTime = 0.0;
+  long Steps = 0;
+  for (int Ep = 0; Ep < Episodes; ++Ep) {
+    Env.reset(makeSeed(Opt.Seed, 100 + static_cast<uint64_t>(Ep)));
+    int EpSteps = 0;
+    while (!Env.terminal() && EpSteps < Opt.MaxEpisodeSteps) {
+      Timer T;
+      int Action = Random ? static_cast<int>(R.uniformInt(Env.numActions()))
+                          : Env.heuristicAction(R);
+      Env.step(Action);
+      StepTime += T.seconds();
+      ++Steps;
+      ++EpSteps;
+    }
+    Res.MeanProgress += Env.progress();
+    Res.SuccessRate += Env.success() ? 1.0 : 0.0;
+  }
+  Res.MeanProgress /= Episodes;
+  Res.SuccessRate /= Episodes;
+  Res.MeanStepSeconds = Steps > 0 ? StepTime / static_cast<double>(Steps) : 0;
+  return Res;
+}
+
+RlEvalResult au::apps::evalHeuristic(GameEnv &Env, const RlTrainOptions &Opt,
+                                     int Episodes) {
+  return evalScripted(Env, Opt, Episodes, /*Random=*/false);
+}
+
+RlEvalResult au::apps::evalRandom(GameEnv &Env, const RlTrainOptions &Opt,
+                                  int Episodes) {
+  return evalScripted(Env, Opt, Episodes, /*Random=*/true);
+}
+
+double au::apps::baselineStepSeconds(GameEnv &Env, const RlTrainOptions &Opt,
+                                     int Episodes) {
+  RlEvalResult R = evalScripted(Env, Opt, Episodes, /*Random=*/false);
+  return R.MeanStepSeconds;
+}

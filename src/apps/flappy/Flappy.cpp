@@ -1,0 +1,212 @@
+//===- apps/flappy/Flappy.cpp - Flappy Bird benchmark program ------------===//
+
+#include "apps/flappy/Flappy.h"
+
+#include "apps/common/ByteIO.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace au;
+using namespace au::apps;
+
+void FlappyEnv::reset(uint64_t Seed) {
+  // Layout comes from the high bits, per-episode jitter from the low byte.
+  Rng Layout(Seed >> 8);
+  Rng Jitter(Seed);
+  GapCenters.clear();
+  GapCenters.reserve(NumPipes);
+  double Prev = WorldH / 2;
+  for (int I = 0; I < NumPipes; ++I) {
+    // Random walk keeps consecutive gaps reachable.
+    Prev = clamp(Prev + Layout.uniform(-5.0, 5.0), GapHalf + 2.0,
+                 WorldH - GapHalf - 2.0);
+    GapCenters.push_back(Prev);
+  }
+  BirdX = 0;
+  BirdY = WorldH / 2 + Jitter.uniform(-1.5, 1.5);
+  BirdV = 0.0;
+  Dead = false;
+  Finished = false;
+}
+
+int FlappyEnv::nextPipe() const {
+  // Pipe I sits at column (I + 1) * PipeSpacing, so the pipe ahead of (or
+  // at) the bird is BirdX / PipeSpacing.
+  return std::min(BirdX / PipeSpacing, NumPipes - 1);
+}
+
+float FlappyEnv::step(int Action) {
+  if (terminal())
+    return 0.0f;
+  if (Action == 1)
+    BirdV = FlapImpulse;
+  BirdV += Gravity;
+  BirdV = clamp(BirdV, -2.2, 2.2);
+  BirdY += BirdV;
+  ++BirdX;
+
+  if (BirdY <= 0.0 || BirdY >= WorldH) {
+    Dead = true;
+    return -10.0f;
+  }
+  // Pipe collision: at a pipe column, the bird must be within the gap.
+  if (BirdX % PipeSpacing == 0) {
+    int Idx = BirdX / PipeSpacing - 1;
+    if (Idx >= 0 && Idx < NumPipes &&
+        std::abs(BirdY - GapCenters[Idx]) > GapHalf) {
+      Dead = true;
+      return -10.0f;
+    }
+  }
+  if (BirdX >= NumPipes * PipeSpacing) {
+    Finished = true;
+    return 10.0f;
+  }
+  return 0.2f; // Forward progress.
+}
+
+double FlappyEnv::progress() const {
+  return static_cast<double>(BirdX) / (NumPipes * PipeSpacing);
+}
+
+int FlappyEnv::heuristicAction(Rng &R) const {
+  (void)R;
+  // Bang-bang control: flap when the next position would drop below the
+  // gap center (offset by half the flap rise so the cycle straddles it).
+  double Target = GapCenters[nextPipe()];
+  return BirdY + BirdV + Gravity < Target - 1.7 ? 1 : 0;
+}
+
+std::vector<Feature> FlappyEnv::features() const {
+  int Np = nextPipe();
+  double PipeDx = Np * PipeSpacing + PipeSpacing - BirdX;
+  double Gap1 = GapCenters[Np];
+  double Gap2 = GapCenters[std::min(Np + 1, NumPipes - 1)];
+  // Values are scaled to O(1) world fractions; names mirror the program
+  // variables the profile run records. Redundant aliases (pipeX, birdPosY)
+  // and near-constant bookkeeping (gapHalf, gravity, frameCnt parity,
+  // worldH) are deliberately included for Algorithm 2 to prune.
+  return {
+      {"birdY", static_cast<float>(BirdY / WorldH)},
+      {"birdV", static_cast<float>(BirdV / 3.0)},
+      {"pipeDx", static_cast<float>(PipeDx / PipeSpacing)},
+      {"gap1Y", static_cast<float>(Gap1 / WorldH)},
+      {"gap2Y", static_cast<float>(Gap2 / WorldH)},
+      {"diffY", static_cast<float>((Gap1 - BirdY) / WorldH)},
+      {"birdPosY", static_cast<float>(BirdY / WorldH)},       // alias
+      {"pipeX", static_cast<float>(PipeDx / PipeSpacing)},    // alias
+      {"gapHalf", static_cast<float>(GapHalf / WorldH)},      // constant
+      {"gravity", static_cast<float>(Gravity)},               // constant
+      {"worldH", 1.0f},                                       // constant
+      {"frameParity", static_cast<float>(BirdX % 2)},
+      {"birdX", static_cast<float>(progress())},
+      {"pipeIdx", static_cast<float>(Np) / NumPipes},
+      {"lives", 1.0f},                                        // constant
+      {"score", static_cast<float>(progress())},              // alias
+      {"speedX", 1.0f / PipeSpacing},                         // constant
+      {"deadFlag", Dead ? 1.0f : 0.0f},
+      {"tubeGapY", static_cast<float>(Gap1 / WorldH)},        // alias
+  };
+}
+
+Image FlappyEnv::renderFrame(int Side) const {
+  Image Frame(Side, Side, 0.0f);
+  auto ToPx = [&](double WorldY) {
+    return std::clamp(
+        Side - 1 - static_cast<int>(WorldY / WorldH * (Side - 1)), 0,
+        Side - 1);
+  };
+  // Visible window: [BirdX - 2, BirdX + Side - 3] world columns.
+  for (int Col = 0; Col < Side; ++Col) {
+    int WorldX = BirdX - 2 + Col;
+    if (WorldX <= 0 || WorldX % PipeSpacing != 0)
+      continue;
+    int Idx = WorldX / PipeSpacing - 1;
+    if (Idx < 0 || Idx >= NumPipes)
+      continue;
+    int GapTop = ToPx(GapCenters[Idx] + GapHalf);
+    int GapBot = ToPx(GapCenters[Idx] - GapHalf);
+    for (int Y = 0; Y < Side; ++Y)
+      if (Y < GapTop || Y > GapBot)
+        Frame.at(Col, Y) = 0.6f;
+  }
+  int By = ToPx(BirdY);
+  Frame.at(2, By) = 1.0f;
+  if (By + 1 < Side)
+    Frame.at(2, By + 1) = 1.0f;
+  return Frame;
+}
+
+void FlappyEnv::profile(analysis::Tracer &T, int Steps) {
+  reset(/*Seed=*/0x1234 << 8);
+  T.markInput("keyPress"); // The human tap the model replaces.
+  Rng R(99);
+  for (int S = 0; S < Steps && !terminal(); ++S) {
+    int Action = heuristicAction(R);
+    // The action variables are defined from the (human) input...
+    T.recordDefValue("flap", {"keyPress"}, "handleInput", Action);
+    T.recordDefValue("actionKey", {"keyPress"}, "handleInput", Action);
+    // ...and drive the bird kinematics (loop-carried dependences).
+    T.recordDefValue("birdV", {"birdV", "flap", "gravity"}, "updateBird",
+                     BirdV);
+    T.recordDefValue("birdY", {"birdY", "birdV"}, "updateBird", BirdY);
+    T.recordDefValue("birdPosY", {"birdY"}, "updateBird", BirdY); // alias
+    T.recordDefValue("birdX", {"birdX", "speedX"}, "updateBird", BirdX);
+    T.recordValue("gravity", Gravity);
+    T.recordDef("gravity", {}, "updateBird");
+    T.recordValue("speedX", 1.0);
+    T.recordDef("speedX", {}, "updateBird");
+
+    std::vector<Feature> Fs = features();
+    T.recordDefValue("pipeIdx", {"birdX"}, "updatePipes",
+                     featureValue(Fs, "pipeIdx"));
+    T.recordDefValue("pipeDx", {"pipeIdx", "birdX"}, "updatePipes",
+                     featureValue(Fs, "pipeDx"));
+    T.recordDefValue("pipeX", {"pipeIdx"}, "updatePipes",
+                     featureValue(Fs, "pipeX")); // alias of pipeDx
+    T.recordDefValue("gap1Y", {"pipeIdx"}, "updatePipes",
+                     featureValue(Fs, "gap1Y"));
+    T.recordDefValue("gap2Y", {"pipeIdx"}, "updatePipes",
+                     featureValue(Fs, "gap2Y"));
+    T.recordDefValue("tubeGapY", {"gap1Y"}, "updatePipes",
+                     featureValue(Fs, "gap1Y")); // alias
+    T.recordDefValue("diffY", {"gap1Y", "birdY"}, "checkCollision",
+                     featureValue(Fs, "diffY"));
+    T.recordDefValue("gapHalf", {}, "checkCollision", GapHalf / WorldH);
+    T.recordDefValue("worldH", {}, "checkCollision", 1.0);
+    T.recordDefValue("deadFlag", {"diffY", "gapHalf", "birdY"},
+                     "checkCollision", Dead);
+    T.recordDefValue("frameParity", {"birdX"}, "gameLoop", BirdX % 2);
+    T.recordDefValue("lives", {}, "gameLoop", 1.0);
+    T.recordDefValue("score", {"birdX"}, "gameLoop",
+                     featureValue(Fs, "score"));
+    // The reward/collision logic closes the loop: the action variables and
+    // the kinematic state share these dependents.
+    T.recordDef("reward", {"deadFlag", "birdX", "flap", "actionKey"},
+                "gameLoop");
+
+    step(Action);
+  }
+}
+
+void FlappyEnv::saveState(std::vector<uint8_t> &Out) const {
+  Out.clear();
+  putPod(Out, BirdY);
+  putPod(Out, BirdV);
+  putPod(Out, BirdX);
+  putPod(Out, Dead);
+  putPod(Out, Finished);
+  putVec(Out, GapCenters);
+}
+
+void FlappyEnv::loadState(const std::vector<uint8_t> &In) {
+  size_t Off = 0;
+  getPod(In, Off, BirdY);
+  getPod(In, Off, BirdV);
+  getPod(In, Off, BirdX);
+  getPod(In, Off, Dead);
+  getPod(In, Off, Finished);
+  getVec(In, Off, GapCenters);
+}

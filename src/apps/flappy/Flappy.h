@@ -1,0 +1,72 @@
+//===- apps/flappy/Flappy.h - Flappy Bird benchmark program ----*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A faithful miniature of the Flappy Bird C++ benchmark: a bird advancing
+/// through a finite course of pipes under gravity, with a flap action. The
+/// paper's score is the fraction of the course flown (progress) and the run
+/// succeeds when the whole course is cleared.
+///
+/// Program variables cover bird kinematics and the next two pipes, plus the
+/// redundant aliases and near-constant bookkeeping variables a real program
+/// carries — exactly what Algorithm 2's epsilon pruning is designed to
+/// remove.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_APPS_FLAPPY_FLAPPY_H
+#define AU_APPS_FLAPPY_FLAPPY_H
+
+#include "apps/common/GameEnv.h"
+
+namespace au {
+namespace apps {
+
+/// Actions: 0 = glide, 1 = flap.
+class FlappyEnv : public GameEnv {
+public:
+  const char *name() const override { return "flappybird"; }
+  void reset(uint64_t Seed) override;
+  int numActions() const override { return 2; }
+  float step(int Action) override;
+  bool terminal() const override { return Dead || Finished; }
+  bool success() const override { return Finished; }
+  double progress() const override;
+  int heuristicAction(Rng &R) const override;
+  std::vector<Feature> features() const override;
+  Image renderFrame(int Side) const override;
+  void profile(analysis::Tracer &T, int Steps) override;
+  std::vector<std::string> targetVariables() const override {
+    return {"flap", "actionKey"};
+  }
+
+  void saveState(std::vector<uint8_t> &Out) const override;
+  void loadState(const std::vector<uint8_t> &In) override;
+
+  // World geometry (world units; the screen is WorldH tall).
+  static constexpr double WorldH = 30.0;
+  static constexpr double Gravity = -0.3;
+  static constexpr double FlapImpulse = 1.3;
+  static constexpr int NumPipes = 24;
+  static constexpr int PipeSpacing = 10;
+  static constexpr double GapHalf = 4.5;
+
+private:
+  /// Index of the first pipe at or ahead of the bird.
+  int nextPipe() const;
+
+  double BirdY = WorldH / 2;
+  double BirdV = 0.0;
+  int BirdX = 0;
+  bool Dead = false;
+  bool Finished = false;
+  std::vector<double> GapCenters; // Per-pipe gap center heights.
+};
+
+} // namespace apps
+} // namespace au
+
+#endif // AU_APPS_FLAPPY_FLAPPY_H

@@ -1,0 +1,537 @@
+//===- apps/mario/Mario.cpp - Mario benchmark program ---------------------===//
+
+#include "apps/mario/Mario.h"
+
+#include "apps/common/ByteIO.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace au;
+using namespace au::apps;
+
+static constexpr double Gravity = -0.22;
+static constexpr double JumpV = 1.15;
+static constexpr double RunV = 0.45;
+static constexpr double PipeHeight = 1.6;
+static constexpr double DitchWidth = 1.6;
+
+// Branch ids for the gcov-like coverage map.
+enum BranchId {
+  BrNoop,
+  BrLeft,
+  BrRight,
+  BrJump,
+  BrJumpRight,
+  BrAirborne,
+  BrLanded,
+  BrJumpStart,
+  BrBlockedByPipe,
+  BrOverDitch,
+  BrFellInDitch,
+  BrGoombaNear,
+  BrGoombaStomp,
+  BrGoombaDeath,
+  BrGoombaTurn,
+  BrFlag,
+  BrMovedForward,
+  BrMovedBackward,
+  BrApex,
+  BrWallLeft,
+  BrCoin,
+  BrHighJump,
+  BrBackJump,
+  BrIdle,
+  BrNearFlag,
+  BrCeiling,
+  // Deep branches that need directed play to reach — the interesting
+  // targets of the self-testing experiment.
+  BrTwoStomps,       // Stomped two goombas in one run.
+  BrAllGoombas,      // Cleared every goomba.
+  BrFarWithCoins,    // Deep into the level still carrying coins.
+  BrBackNearPipe,    // Walking backward right next to a pipe.
+  BrFastFlag,        // Speed-run finish.
+  BrAirborneOverDitch, // Mid-jump high above a ditch.
+  BrHighAtFlagZone,  // High jump in the flag zone.
+  BrLongIdle,        // Standing still for a long stretch.
+};
+static_assert(BrLongIdle + 1 == MarioEnv::NumBranches,
+              "branch enum out of sync with NumBranches");
+
+void MarioEnv::reset(uint64_t Seed) {
+  Rng Layout(Seed >> 8);
+  Rng Jitter(Seed);
+  PipeXs.clear();
+  Ditches.clear();
+  Goombas.clear();
+
+  // Three pipes, two ditches, four goombas, spread with layout randomness.
+  for (int I = 0; I < 3; ++I)
+    PipeXs.push_back(20.0 + 30.0 * I + Layout.uniform(0.0, 8.0));
+  for (int I = 0; I < 2; ++I) {
+    // Keep ditches well clear of pipes so every layout is clearable.
+    double Lo = 0.0;
+    for (int Attempt = 0; Attempt < 16; ++Attempt) {
+      Lo = 35.0 + 40.0 * I + Layout.uniform(0.0, 6.0);
+      bool Clear = true;
+      for (double P : PipeXs)
+        Clear = Clear && (P < Lo - 6.0 || P > Lo + DitchWidth + 6.0);
+      if (Clear)
+        break;
+      Lo = 0.0;
+    }
+    if (Lo > 0.0)
+      Ditches.push_back({Lo, Lo + DitchWidth});
+  }
+  for (int I = 0; I < 4; ++I) {
+    Goomba G;
+    G.Lo = 12.0 + 25.0 * I + Layout.uniform(0.0, 4.0);
+    G.Hi = G.Lo + 6.0;
+    G.X = G.Lo + Jitter.uniform(0.0, 6.0);
+    G.Dir = Jitter.chance(0.5) ? 1.0 : -1.0;
+    G.Alive = 1;
+    Goombas.push_back(G);
+  }
+
+  PlayerX = 1.0;
+  PlayerY = 0.0;
+  PlayerVx = 0.0;
+  PlayerVy = 0.0;
+  OnGround = true;
+  Dead = false;
+  FlagReached = false;
+  NewCoverageThisStep = false;
+  Coins = 0;
+  StepCount = 0;
+  IdleRun = 0;
+  CoveredEpisode.clear();
+}
+
+bool MarioEnv::hit(int Id) {
+  CoveredEver.insert(Id);
+  // The reward keys off the in-process counters, which reset per episode
+  // and roll back with au_restore.
+  bool New = CoveredEpisode.insert(Id).second;
+  NewCoverageThisStep = NewCoverageThisStep || New;
+  return New;
+}
+
+double MarioEnv::coverageFraction() const {
+  return static_cast<double>(CoveredEver.size()) / NumBranches;
+}
+
+int MarioEnv::objectAhead(double *Distance) const {
+  double Best = 1e9;
+  int Code = 0;
+  for (double P : PipeXs)
+    if (P >= PlayerX - 0.5 && P - PlayerX < Best) {
+      Best = P - PlayerX;
+      Code = 1;
+    }
+  for (const auto &[Lo, Hi] : Ditches)
+    if (Hi >= PlayerX && Lo - PlayerX < Best) {
+      Best = std::max(0.0, Lo - PlayerX);
+      Code = 2;
+    }
+  for (const Goomba &G : Goombas)
+    if (G.Alive && G.X >= PlayerX - 0.5 && G.X - PlayerX < Best) {
+      Best = G.X - PlayerX;
+      Code = 3;
+    }
+  if (Distance)
+    *Distance = Best > 1e8 ? WorldLen : Best;
+  return Code;
+}
+
+float MarioEnv::step(int Action) {
+  if (terminal())
+    return 0.0f;
+  NewCoverageThisStep = false;
+  double OldX = PlayerX;
+
+  // Action handling (the instrumented branches mirror the game's input
+  // dispatch).
+  switch (Action) {
+  case 0:
+    hit(BrNoop);
+    PlayerVx = 0.0;
+    break;
+  case 1:
+    hit(BrLeft);
+    PlayerVx = -RunV;
+    break;
+  case 2:
+    hit(BrRight);
+    PlayerVx = RunV;
+    break;
+  case 3:
+    hit(BrJump);
+    PlayerVx = 0.0;
+    if (OnGround) {
+      hit(BrJumpStart);
+      PlayerVy = JumpV;
+      OnGround = false;
+    }
+    break;
+  case 4:
+    hit(BrJumpRight);
+    PlayerVx = RunV;
+    if (OnGround) {
+      hit(BrJumpStart);
+      PlayerVy = JumpV;
+      OnGround = false;
+    }
+    break;
+  default:
+    assert(false && "invalid Mario action");
+  }
+
+  // Kinematics.
+  if (!OnGround) {
+    hit(BrAirborne);
+    PlayerVy += Gravity;
+    if (std::abs(PlayerVy) < 0.12)
+      hit(BrApex);
+    if (PlayerY > 2.8)
+      hit(BrHighJump);
+    if (PlayerVy > 0 && PlayerVx < 0)
+      hit(BrBackJump);
+  }
+  double NextX = PlayerX + PlayerVx;
+  double NextY = std::max(-1.0, PlayerY + (OnGround ? 0.0 : PlayerVy));
+
+  // Pipe blocking: a pipe occupies +/-0.5 around its x up to PipeHeight.
+  for (double P : PipeXs)
+    if (std::abs(NextX - P) < 0.5 && NextY < PipeHeight) {
+      hit(BrBlockedByPipe);
+      NextX = PlayerX; // Blocked.
+    }
+  if (NextX < 0) {
+    hit(BrWallLeft);
+    NextX = 0;
+  }
+  if (NextY > 4.0) {
+    hit(BrCeiling);
+    NextY = 4.0;
+    PlayerVy = 0.0;
+  }
+  PlayerX = NextX;
+  PlayerY = NextY;
+
+  // Ditches: falling below ground over a gap kills.
+  bool OverDitch = false;
+  for (const auto &[Lo, Hi] : Ditches)
+    if (PlayerX >= Lo && PlayerX < Hi) {
+      OverDitch = true;
+      hit(BrOverDitch);
+    }
+  if (PlayerY <= 0.0) {
+    if (OverDitch) {
+      hit(BrFellInDitch);
+      Dead = true;
+      return -10.0f;
+    }
+    if (!OnGround)
+      hit(BrLanded);
+    PlayerY = 0.0;
+    PlayerVy = 0.0;
+    OnGround = true;
+  }
+
+  // Goombas: patrol, turn at bounds, stomp or kill on contact.
+  float Reward = 0.0f;
+  for (Goomba &G : Goombas) {
+    if (!G.Alive)
+      continue;
+    G.X += 0.12 * G.Dir;
+    if (G.X <= G.Lo || G.X >= G.Hi) {
+      hit(BrGoombaTurn);
+      G.Dir = -G.Dir;
+      G.X = clamp(G.X, G.Lo, G.Hi);
+    }
+    double Dx = std::abs(G.X - PlayerX);
+    if (Dx < 2.0)
+      hit(BrGoombaNear);
+    if (Dx < 0.5) {
+      if (PlayerY > 0.4 && PlayerVy < 0) {
+        hit(BrGoombaStomp);
+        G.Alive = 0;
+        ++Coins;
+        hit(BrCoin);
+        Reward += 1.0f;
+      } else if (PlayerY < 0.4) {
+        hit(BrGoombaDeath);
+        Dead = true;
+        return -10.0f;
+      }
+    }
+  }
+
+  // Fig. 2 reward shape: forward +2, otherwise -1; flag +10.
+  if (PlayerX > OldX + 1e-9) {
+    hit(BrMovedForward);
+    Reward += 2.0f;
+  } else {
+    if (PlayerX < OldX - 1e-9)
+      hit(BrMovedBackward);
+    else
+      hit(BrIdle);
+    Reward += -1.0f;
+  }
+  if (PlayerX > WorldLen - 8.0)
+    hit(BrNearFlag);
+  if (PlayerX >= WorldLen) {
+    hit(BrFlag);
+    FlagReached = true;
+    Reward += 10.0f;
+  }
+
+  // Deep branches: rare behaviors the self-testing experiment hunts.
+  ++StepCount;
+  IdleRun = PlayerVx == 0.0 && OnGround ? IdleRun + 1 : 0;
+  if (Coins >= 2)
+    hit(BrTwoStomps);
+  if (Coins >= static_cast<int>(Goombas.size()))
+    hit(BrAllGoombas);
+  if (PlayerX > 90.0 && Coins >= 2)
+    hit(BrFarWithCoins);
+  if (PlayerVx < 0)
+    for (double P : PipeXs)
+      if (std::abs(PlayerX - P) < 1.5)
+        hit(BrBackNearPipe);
+  if (FlagReached && StepCount < 300)
+    hit(BrFastFlag);
+  if (PlayerY > 1.5 && OverDitch)
+    hit(BrAirborneOverDitch);
+  if (PlayerX > WorldLen - 10.0 && PlayerY > 2.0)
+    hit(BrHighAtFlagZone);
+  if (IdleRun >= 20)
+    hit(BrLongIdle);
+
+  // Line 38 of Fig. 2: the self-testing coverage reward.
+  if (CoverageReward && NewCoverageThisStep)
+    Reward += 30.0f;
+  return Reward;
+}
+
+int MarioEnv::heuristicAction(Rng &R) const {
+  (void)R;
+  double Dist = 0.0;
+  int Obj = objectAhead(&Dist);
+  // Jump over anything close; otherwise run right.
+  if (Obj != 0 && Dist < 2.2 && OnGround)
+    return 4; // jump-right
+  if (!OnGround)
+    return 2; // keep moving right mid-air
+  return 2;
+}
+
+std::vector<Feature> MarioEnv::features() const {
+  double ObjDist = 0.0;
+  int Obj = objectAhead(&ObjDist);
+  // Nearest two live goombas ahead (world-relative distances).
+  double Mn1 = WorldLen, Mn2 = WorldLen, Mn1Abs = 0.0;
+  for (const Goomba &G : Goombas) {
+    if (!G.Alive)
+      continue;
+    double D = G.X - PlayerX;
+    if (D < -1.0)
+      continue;
+    if (D < Mn1) {
+      Mn2 = Mn1;
+      Mn1 = D;
+      Mn1Abs = G.X;
+    } else if (D < Mn2) {
+      Mn2 = D;
+    }
+  }
+  return {
+      {"PX", static_cast<float>(PlayerX / WorldLen)},
+      {"PY", static_cast<float>(PlayerY / 4.0)},
+      {"PVx", static_cast<float>(PlayerVx / RunV)},
+      {"PVy", static_cast<float>(PlayerVy / JumpV)},
+      {"onGround", OnGround ? 1.0f : 0.0f},
+      {"MnX", static_cast<float>(std::min(Mn1, 12.0) / 12.0)},
+      {"MnX2", static_cast<float>(std::min(Mn2, 12.0) / 12.0)},
+      {"MnY", 0.0f}, // Goombas walk on the ground in this level.
+      {"OBJ", static_cast<float>(Obj) / 3.0f},
+      {"objDx", static_cast<float>(std::min(ObjDist, 12.0) / 12.0)},
+      {"flagDx", static_cast<float>((WorldLen - PlayerX) / WorldLen)},
+      {"coins", static_cast<float>(Coins) / 4.0f},
+      {"mX", static_cast<float>(std::min(Mn1, 12.0) / 12.0)}, // alias of MnX
+      {"playerPosX", static_cast<float>(PlayerX / WorldLen)}, // alias of PX
+      {"lives", 1.0f},                                        // constant
+      {"gravityK", static_cast<float>(Gravity)},              // constant
+      {"worldLen", 1.0f},                                     // constant
+      {"pipeH", static_cast<float>(PipeHeight / 4.0)},        // constant
+      {"minionAbsX", static_cast<float>(Mn1Abs / WorldLen)},
+      {"deadFlag", Dead ? 1.0f : 0.0f},
+  };
+}
+
+Image MarioEnv::renderFrame(int Side) const {
+  Image Frame(Side, Side, 0.0f);
+  // Viewport: x in [PlayerX - 4, PlayerX + 16), y in [-1, 5).
+  auto PxX = [&](double Wx) {
+    return static_cast<int>((Wx - (PlayerX - 4.0)) / 20.0 * Side);
+  };
+  auto PxY = [&](double Wy) {
+    return Side - 1 - static_cast<int>((Wy + 1.0) / 6.0 * (Side - 1));
+  };
+  auto Plot = [&](int X, int Y, float V) {
+    if (X >= 0 && X < Side && Y >= 0 && Y < Side)
+      Frame.at(X, Y) = V;
+  };
+  // Ground (with ditch holes).
+  for (int Col = 0; Col < Side; ++Col) {
+    double Wx = PlayerX - 4.0 + Col / static_cast<double>(Side) * 20.0;
+    bool Hole = false;
+    for (const auto &[Lo, Hi] : Ditches)
+      if (Wx >= Lo && Wx < Hi)
+        Hole = true;
+    if (!Hole)
+      Plot(Col, PxY(-0.3), 0.4f);
+  }
+  // Pipes.
+  for (double P : PipeXs)
+    for (double Y = 0.0; Y < PipeHeight; Y += 0.4) {
+      Plot(PxX(P - 0.4), PxY(Y), 0.6f);
+      Plot(PxX(P + 0.4), PxY(Y), 0.6f);
+    }
+  // Goombas.
+  for (const Goomba &G : Goombas)
+    if (G.Alive)
+      Plot(PxX(G.X), PxY(0.2), 0.8f);
+  // Flag.
+  for (double Y = 0.0; Y < 4.0; Y += 0.4)
+    Plot(PxX(WorldLen), PxY(Y), 0.9f);
+  // Player.
+  Plot(PxX(PlayerX), PxY(PlayerY + 0.2), 1.0f);
+  Plot(PxX(PlayerX), PxY(PlayerY + 0.6), 1.0f);
+  return Frame;
+}
+
+void MarioEnv::profile(analysis::Tracer &T, int Steps) {
+  reset(/*Seed=*/0x3131 << 8);
+  T.markInput("keyEvent");
+  Rng R(7);
+  for (int S = 0; S < Steps && !terminal(); ++S) {
+    int Action = heuristicAction(R);
+    std::vector<Feature> Fs = features();
+    // Input dispatch: five action variables decoded from the key event.
+    T.recordDefValue("right", {"keyEvent"}, "handleInput",
+                     Action == 2 || Action == 4);
+    T.recordDefValue("left", {"keyEvent"}, "handleInput", Action == 1);
+    T.recordDefValue("jump", {"keyEvent"}, "handleInput",
+                     Action == 3 || Action == 4);
+    T.recordDefValue("jumpRight", {"keyEvent"}, "handleInput", Action == 4);
+    T.recordDefValue("actionKey", {"keyEvent"}, "handleInput", Action);
+    // updatePlayer(): kinematics with loop-carried dependences (Fig. 10).
+    T.recordDefValue("speed", {"right", "left"}, "updatePlayer",
+                     featureValue(Fs, "PVx"));
+    T.recordDefValue("PVx", {"speed"}, "updatePlayer",
+                     featureValue(Fs, "PVx"));
+    T.recordDefValue("PVy", {"PVy", "jump", "jumpRight", "gravityK"},
+                     "updatePlayer", featureValue(Fs, "PVy"));
+    T.recordDefValue("PX", {"PX", "speed"}, "updatePlayer",
+                     featureValue(Fs, "PX"));
+    T.recordDefValue("PY", {"PY", "PVy"}, "updatePlayer",
+                     featureValue(Fs, "PY"));
+    T.recordDefValue("playerPosX", {"PX"}, "updatePlayer",
+                     featureValue(Fs, "playerPosX")); // alias
+    T.recordDefValue("onGround", {"PY"}, "updatePlayer",
+                     featureValue(Fs, "onGround"));
+    T.recordDefValue("gravityK", {}, "updatePlayer", Gravity);
+    // minionCollision(): goomba positions and the collision predicate.
+    T.recordDefValue("MnX", {"MnX"}, "minionCollision",
+                     featureValue(Fs, "MnX"));
+    T.recordDefValue("MnX2", {"MnX2"}, "minionCollision",
+                     featureValue(Fs, "MnX2"));
+    T.recordDefValue("MnY", {"MnY"}, "minionCollision",
+                     featureValue(Fs, "MnY"));
+    T.recordDefValue("mX", {"MnX"}, "minionCollision",
+                     featureValue(Fs, "mX")); // alias of MnX (Fig. 10)
+    T.recordDefValue("minionAbsX", {"MnX", "PX"}, "minionCollision",
+                     featureValue(Fs, "minionAbsX"));
+    T.recordDefValue("collide", {"PX", "MnX", "PY"}, "minionCollision",
+                     0.0);
+    // checkObj(): the object in front of the player (Fig. 2 line 17).
+    T.recordDefValue("OBJ", {"PX"}, "checkObj", featureValue(Fs, "OBJ"));
+    T.recordDefValue("objDx", {"PX", "OBJ"}, "checkObj",
+                     featureValue(Fs, "objDx"));
+    T.recordDefValue("pipeH", {}, "checkObj", featureValue(Fs, "pipeH"));
+    // gameLoop(): progress / reward bookkeeping.
+    T.recordDefValue("flagDx", {"PX", "worldLen"}, "gameLoop",
+                     featureValue(Fs, "flagDx"));
+    T.recordDefValue("worldLen", {}, "gameLoop", 1.0);
+    T.recordDefValue("lives", {}, "gameLoop", 1.0);
+    T.recordDefValue("coins", {"collide"}, "gameLoop",
+                     featureValue(Fs, "coins"));
+    T.recordDefValue("deadFlag", {"collide", "PY", "objDx"}, "gameLoop",
+                     Dead);
+    T.recordDef("reward",
+                {"deadFlag", "flagDx", "PX", "right", "left", "jump",
+                 "jumpRight", "actionKey"},
+                "gameLoop");
+    step(Action);
+  }
+}
+
+void MarioEnv::saveState(std::vector<uint8_t> &Out) const {
+  Out.clear();
+  putPod(Out, PlayerX);
+  putPod(Out, PlayerY);
+  putPod(Out, PlayerVx);
+  putPod(Out, PlayerVy);
+  putPod(Out, OnGround);
+  putPod(Out, Dead);
+  putPod(Out, FlagReached);
+  putPod(Out, Coins);
+  putVec(Out, PipeXs);
+  putPod(Out, static_cast<uint64_t>(Ditches.size()));
+  for (const auto &[Lo, Hi] : Ditches) {
+    putPod(Out, Lo);
+    putPod(Out, Hi);
+  }
+  putPod(Out, static_cast<uint64_t>(Goombas.size()));
+  for (const Goomba &G : Goombas)
+    putPod(Out, G);
+  putPod(Out, StepCount);
+  putPod(Out, IdleRun);
+  // The per-episode coverage counters live in process memory and roll
+  // back with the snapshot (KVM rolls back gcov's in-memory counters the
+  // same way); the cumulative CoveredEver view models the on-disk gcov
+  // data and is deliberately NOT part of the snapshot.
+  std::vector<int32_t> Episode(CoveredEpisode.begin(), CoveredEpisode.end());
+  putVec(Out, Episode);
+}
+
+void MarioEnv::loadState(const std::vector<uint8_t> &In) {
+  size_t Off = 0;
+  getPod(In, Off, PlayerX);
+  getPod(In, Off, PlayerY);
+  getPod(In, Off, PlayerVx);
+  getPod(In, Off, PlayerVy);
+  getPod(In, Off, OnGround);
+  getPod(In, Off, Dead);
+  getPod(In, Off, FlagReached);
+  getPod(In, Off, Coins);
+  getVec(In, Off, PipeXs);
+  uint64_t N = 0;
+  getPod(In, Off, N);
+  Ditches.resize(N);
+  for (auto &[Lo, Hi] : Ditches) {
+    getPod(In, Off, Lo);
+    getPod(In, Off, Hi);
+  }
+  getPod(In, Off, N);
+  Goombas.resize(N);
+  for (Goomba &G : Goombas)
+    getPod(In, Off, G);
+  getPod(In, Off, StepCount);
+  getPod(In, Off, IdleRun);
+  std::vector<int32_t> Episode;
+  getVec(In, Off, Episode);
+  CoveredEpisode = std::set<int>(Episode.begin(), Episode.end());
+}

@@ -1,0 +1,116 @@
+//===- apps/mario/Mario.h - Mario benchmark program ------------*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature of the uMario C++/SDL2 benchmark the paper autonomizes in
+/// Section 2: a side-scrolling platformer with goombas (minions), pipes,
+/// ditches and a flag pole. Rewards follow Fig. 2 exactly: +2 for moving
+/// forward, -1 otherwise, +10 at the flag pole, -10 on death — plus the
+/// optional +30 code-coverage reward of the self-testing experiment
+/// (Fig. 2 line 38), backed by built-in branch-coverage instrumentation
+/// standing in for gcov.
+///
+/// The paper's score is the pair (progress, flag-rate); progress() and
+/// success() here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_APPS_MARIO_MARIO_H
+#define AU_APPS_MARIO_MARIO_H
+
+#include "apps/common/GameEnv.h"
+
+#include <set>
+
+namespace au {
+namespace apps {
+
+/// Actions: 0 = noop, 1 = left, 2 = right, 3 = jump, 4 = jump-right.
+class MarioEnv : public GameEnv {
+public:
+  const char *name() const override { return "mario"; }
+  void reset(uint64_t Seed) override;
+  int numActions() const override { return 5; }
+  float step(int Action) override;
+  bool terminal() const override { return Dead || FlagReached; }
+  bool success() const override { return FlagReached; }
+  double progress() const override { return PlayerX / WorldLen; }
+  int heuristicAction(Rng &R) const override;
+  std::vector<Feature> features() const override;
+  Image renderFrame(int Side) const override;
+  void profile(analysis::Tracer &T, int Steps) override;
+  std::vector<std::string> targetVariables() const override {
+    return {"right", "left", "jump", "jumpRight", "actionKey"};
+  }
+
+  void saveState(std::vector<uint8_t> &Out) const override;
+  void loadState(const std::vector<uint8_t> &In) override;
+
+  //===--------------------------------------------------------------------===//
+  // Self-testing support (Section 2, "Autonomization for Software
+  // Self-Testing"): cumulative branch coverage with an extra reward on
+  // improvement.
+  //===--------------------------------------------------------------------===//
+
+  /// Adds the paper's line-38 reward: +30 whenever a step covers a branch
+  /// new to the in-process coverage counters. Those counters live in
+  /// process memory, so au_restore rolls them back (exactly as KVM rolls
+  /// back gcov's in-memory counters) and the bonus re-fires each episode;
+  /// the cumulative on-disk view used for reporting is separate.
+  void setCoverageReward(bool Enabled) { CoverageReward = Enabled; }
+
+  /// Branches covered so far (cumulative across episodes, like the gcov
+  /// data files the harness inspects).
+  int coverageCount() const { return static_cast<int>(CoveredEver.size()); }
+
+  /// Covered fraction of the instrumented branches.
+  double coverageFraction() const;
+
+  /// Clears the cumulative coverage map.
+  void resetCoverage() { CoveredEver.clear(); }
+
+  /// Total instrumented branches.
+  static constexpr int NumBranches = 34;
+
+  static constexpr double WorldLen = 120.0;
+
+private:
+  struct Goomba {
+    double X;
+    double Dir;   // Patrol direction (+/- 1).
+    double Lo, Hi; // Patrol bounds.
+    uint8_t Alive;
+  };
+
+  /// Marks branch \p Id covered; returns true when it is new.
+  bool hit(int Id);
+
+  /// Object code ahead of the player: 0 none, 1 pipe, 2 ditch, 3 goomba.
+  int objectAhead(double *Distance) const;
+
+  double PlayerX = 0, PlayerY = 0, PlayerVx = 0, PlayerVy = 0;
+  bool OnGround = true;
+  bool Dead = false;
+  bool FlagReached = false;
+  bool NewCoverageThisStep = false;
+  bool CoverageReward = false;
+  int Coins = 0;
+  int StepCount = 0;
+  int IdleRun = 0;
+  std::vector<double> PipeXs;
+  std::vector<std::pair<double, double>> Ditches; // [lo, hi) gaps.
+  std::vector<Goomba> Goombas;
+  /// In-process coverage counters: part of the checkpointed state, cleared
+  /// on reset, rolled back by au_restore.
+  std::set<int> CoveredEpisode;
+  /// Cumulative coverage (the on-disk gcov view): never rolled back.
+  std::set<int> CoveredEver;
+};
+
+} // namespace apps
+} // namespace au
+
+#endif // AU_APPS_MARIO_MARIO_H

@@ -1,0 +1,228 @@
+//===- apps/torcs/Torcs.cpp - TORCS-style driving benchmark --------------===//
+
+#include "apps/torcs/Torcs.h"
+
+#include "apps/common/ByteIO.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace au;
+using namespace au::apps;
+
+static constexpr double SteerDelta = 0.09;
+
+void TorcsEnv::reset(uint64_t Seed) {
+  Rng Layout(Seed >> 8);
+  Rng Jitter(Seed);
+  int Segments = static_cast<int>(TrackLen);
+  Curvature.assign(Segments, 0.0);
+  // Alternating straights and arcs; curvature is per-unit heading change.
+  int I = 0;
+  while (I < Segments) {
+    int Len = static_cast<int>(Layout.uniformInt(8, 24));
+    double C = 0.0;
+    if (Layout.chance(0.6))
+      C = Layout.uniform(-0.055, 0.055);
+    for (int K = 0; K < Len && I < Segments; ++K, ++I)
+      Curvature[I] = C;
+  }
+  S = 0.0;
+  Offset = Jitter.uniform(-0.3, 0.3);
+  Heading = 0.0;
+  Fuel = 1.0;
+  Bumped = false;
+  Finished = false;
+}
+
+double TorcsEnv::curvatureAt(double At) const {
+  int Idx = static_cast<int>(At);
+  if (Idx < 0)
+    Idx = 0;
+  if (Idx >= static_cast<int>(Curvature.size()))
+    Idx = static_cast<int>(Curvature.size()) - 1;
+  return Curvature[Idx];
+}
+
+float TorcsEnv::step(int Action) {
+  if (terminal())
+    return 0.0f;
+  double Steer = (Action - 1) * SteerDelta; // -1, 0, +1 times delta.
+  // The track bends under the car: relative heading picks up the steering
+  // minus the track's own curvature.
+  Heading += Steer - curvatureAt(S) * Speed * 2.0;
+  Heading = clamp(Heading, -0.9, 0.9);
+  Offset += std::sin(Heading) * Speed * 2.0;
+  S += std::cos(Heading) * Speed;
+  Fuel = std::max(0.0, Fuel - 1.0 / (4.0 * TrackLen / Speed));
+
+  if (std::abs(Offset) > HalfWidth) {
+    Bumped = true;
+    return -10.0f;
+  }
+  if (S >= TrackLen) {
+    Finished = true;
+    return 10.0f;
+  }
+  // Centering reward keeps the gradient informative.
+  return static_cast<float>(0.25 - 0.2 * std::abs(Offset) / HalfWidth);
+}
+
+int TorcsEnv::heuristicAction(Rng &R) const {
+  (void)R;
+  // PD-style steering toward the centerline plus curvature feed-forward.
+  double Desired = -0.8 * (Offset / HalfWidth) - 1.2 * Heading +
+                   2.4 * curvatureAt(S + 4.0);
+  if (Desired > 0.04)
+    return 2;
+  if (Desired < -0.04)
+    return 0;
+  return 1;
+}
+
+std::vector<Feature> TorcsEnv::features() const {
+  double PosX = Offset / HalfWidth;
+  return {
+      {"posX", static_cast<float>(PosX)},
+      {"angle", static_cast<float>(Heading)},
+      {"curv0", static_cast<float>(curvatureAt(S) * 20.0)},
+      {"curv1", static_cast<float>(curvatureAt(S + 3.0) * 20.0)},
+      {"curv2", static_cast<float>(curvatureAt(S + 6.0) * 20.0)},
+      {"curv3", static_cast<float>(curvatureAt(S + 10.0) * 20.0)},
+      {"distRaced", static_cast<float>(progress())},
+      // roll tracks posX almost exactly (the Fig. 15 pruning pair).
+      {"roll", static_cast<float>(PosX * 0.995)},
+      // accX: a launch transient, then essentially flat at cruise speed —
+      // its min-max-scaled trace has tiny variance (the Fig. 16 example).
+      {"accX", static_cast<float>(S < 2.0 ? (2.0 - S) * 0.5
+                                          : 0.002 * std::sin(S * 0.3))},
+      {"speed", static_cast<float>(Speed)},          // constant
+      {"speedY", 0.0f},                              // constant
+      {"rpm", 0.62f},                                // constant at fixed gear
+      {"gear", 0.75f},                               // constant
+      {"fuel", static_cast<float>(Fuel)},            // near-constant drift
+      {"damage", 0.0f},                              // constant
+      {"trackPos", static_cast<float>(PosX)},        // alias of posX
+      {"yaw", static_cast<float>(Heading * 0.99)},   // alias of angle
+      {"lapTime", static_cast<float>(progress())},   // alias of distRaced
+      {"halfWidth", 1.0f},                           // constant
+      {"bumpFlag", Bumped ? 1.0f : 0.0f},
+  };
+}
+
+Image TorcsEnv::renderFrame(int Side) const {
+  Image Frame(Side, Side, 0.0f);
+  // Driver's view: each row Y (bottom = near) shows the road edges at
+  // lookahead distance proportional to the row.
+  double CenterDrift = 0.0;
+  double Dir = 0.0;
+  for (int Row = 0; Row < Side; ++Row) {
+    double Ahead = Row * 0.6;
+    Dir += curvatureAt(S + Ahead) * 0.6;
+    CenterDrift += Dir * 0.6;
+    // Road center in car-relative lateral units.
+    double Center = CenterDrift - Offset - Heading * Ahead;
+    int Y = Side - 1 - Row;
+    auto Plot = [&](double Lateral, float V) {
+      int X = static_cast<int>((Lateral / (3.0 * HalfWidth) + 0.5) * Side);
+      if (X >= 0 && X < Side)
+        Frame.at(X, Y) = V;
+    };
+    Plot(Center - HalfWidth, 0.7f);
+    Plot(Center + HalfWidth, 0.7f);
+    if (Row == 0)
+      Plot(0.0, 1.0f); // The car sits at the bottom center.
+  }
+  return Frame;
+}
+
+void TorcsEnv::profile(analysis::Tracer &T, int Steps) {
+  reset(/*Seed=*/0x9090 << 8);
+  T.markInput("wheelInput");
+  Rng R(3);
+  for (int St = 0; St < Steps && !terminal(); ++St) {
+    int Action = heuristicAction(R);
+    std::vector<Feature> Fs = features();
+    T.recordDefValue("steer", {"wheelInput"}, "handleInput", Action - 1);
+    T.recordDefValue("actionKey", {"wheelInput"}, "handleInput", Action);
+    // updateCar(): the kinematic core with loop-carried dependences.
+    T.recordDefValue("angle", {"angle", "steer", "curv0"}, "updateCar",
+                     featureValue(Fs, "angle"));
+    T.recordDefValue("posX", {"posX", "angle"}, "updateCar",
+                     featureValue(Fs, "posX"));
+    T.recordDefValue("roll", {"posX"}, "updateCar",
+                     featureValue(Fs, "roll")); // alias (Fig. 15)
+    T.recordDefValue("yaw", {"angle"}, "updateCar",
+                     featureValue(Fs, "yaw")); // alias
+    T.recordDefValue("trackPos", {"posX"}, "updateCar",
+                     featureValue(Fs, "trackPos")); // alias
+    T.recordDefValue("accX", {"speed"}, "updateCar",
+                     featureValue(Fs, "accX")); // near-constant (Fig. 16)
+    T.recordDefValue("speed", {}, "updateCar", Speed);
+    T.recordDefValue("speedY", {}, "updateCar", 0.0);
+    T.recordDefValue("distRaced", {"distRaced", "speed", "angle"},
+                     "updateCar", featureValue(Fs, "distRaced"));
+    T.recordDefValue("fuel", {"fuel", "speed"}, "updateCar", Fuel);
+    // readSensors(): the track model feeding the controller.
+    T.recordDefValue("curv0", {"distRaced"}, "readSensors",
+                     featureValue(Fs, "curv0"));
+    T.recordDefValue("curv1", {"distRaced"}, "readSensors",
+                     featureValue(Fs, "curv1"));
+    T.recordDefValue("curv2", {"distRaced"}, "readSensors",
+                     featureValue(Fs, "curv2"));
+    T.recordDefValue("curv3", {"distRaced"}, "readSensors",
+                     featureValue(Fs, "curv3"));
+    // The control loop consumes the lookahead sensors: they feed the crash
+    // risk (and hence the reward) alongside the steering decision.
+    T.recordDef("trackAhead", {"curv1", "curv2", "curv3"}, "gameLoop");
+    T.recordUse("curv0", "gameLoop");
+    T.recordDefValue("rpm", {"speed"}, "readSensors",
+                     featureValue(Fs, "rpm"));
+    T.recordDefValue("gear", {"rpm"}, "readSensors",
+                     featureValue(Fs, "gear"));
+    T.recordDefValue("damage", {}, "readSensors", 0.0);
+    T.recordDefValue("halfWidth", {}, "checkWall", 1.0);
+    T.recordDefValue("bumpFlag", {"posX", "halfWidth"}, "checkWall",
+                     Bumped);
+    T.recordDefValue("lapTime", {"distRaced"}, "gameLoop",
+                     featureValue(Fs, "lapTime"));
+    // The telemetry HUD consumes every sensor each frame; it gives the
+    // aliases and the near-constant channels (roll, yaw, accX, rpm, fuel,
+    // ...) a dependent shared with the steering chain.
+    T.recordDef("hud",
+                {"roll", "yaw", "trackPos", "accX", "rpm", "gear", "fuel",
+                 "damage", "speedY", "lapTime", "posX"},
+                "gameLoop");
+    T.recordDef("reward", {"bumpFlag", "posX", "distRaced", "trackAhead",
+                           "steer", "actionKey"},
+                "gameLoop");
+    step(Action);
+  }
+}
+
+std::vector<std::string> TorcsEnv::manualFeatureNames() {
+  return {"posX", "angle", "curv0", "curv1", "curv2", "curv3"};
+}
+
+void TorcsEnv::saveState(std::vector<uint8_t> &Out) const {
+  Out.clear();
+  putPod(Out, S);
+  putPod(Out, Offset);
+  putPod(Out, Heading);
+  putPod(Out, Fuel);
+  putPod(Out, Bumped);
+  putPod(Out, Finished);
+  putVec(Out, Curvature);
+}
+
+void TorcsEnv::loadState(const std::vector<uint8_t> &In) {
+  size_t Off = 0;
+  getPod(In, Off, S);
+  getPod(In, Off, Offset);
+  getPod(In, Off, Heading);
+  getPod(In, Off, Fuel);
+  getPod(In, Off, Bumped);
+  getPod(In, Off, Finished);
+  getVec(In, Off, Curvature);
+}

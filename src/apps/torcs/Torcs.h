@@ -1,0 +1,75 @@
+//===- apps/torcs/Torcs.h - TORCS-style driving benchmark ------*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature of the TORCS 3-D car-racing benchmark: a car follows a curved
+/// track at constant speed and the model controls steering (left / straight
+/// / right — the same three outputs as the paper's study). The episode
+/// succeeds when the car finishes the course without bumping the wall; the
+/// paper's score is how far the car drives before bumping (progress()).
+///
+/// The exposed program variables deliberately include the paper's pruning
+/// examples: `roll` tracks `posX` almost exactly (EucDist ~ 0, pruned by
+/// epsilon1, Fig. 15) and `accX` barely changes (variance ~ 0.007, pruned by
+/// epsilon2, Fig. 16), plus further aliases and constants (speed, rpm, fuel,
+/// damage...) so Algorithm 2 has a realistic candidate pool to cut down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_APPS_TORCS_TORCS_H
+#define AU_APPS_TORCS_TORCS_H
+
+#include "apps/common/GameEnv.h"
+
+namespace au {
+namespace apps {
+
+/// Actions: 0 = steer left, 1 = straight, 2 = steer right.
+class TorcsEnv : public GameEnv {
+public:
+  const char *name() const override { return "torcs"; }
+  void reset(uint64_t Seed) override;
+  int numActions() const override { return 3; }
+  float step(int Action) override;
+  bool terminal() const override { return Bumped || Finished; }
+  bool success() const override { return Finished; }
+  double progress() const override { return S / TrackLen; }
+  int heuristicAction(Rng &R) const override;
+  std::vector<Feature> features() const override;
+  Image renderFrame(int Side) const override;
+  void profile(analysis::Tracer &T, int Steps) override;
+  std::vector<std::string> targetVariables() const override {
+    return {"steer", "actionKey"};
+  }
+
+  void saveState(std::vector<uint8_t> &Out) const override;
+  void loadState(const std::vector<uint8_t> &In) override;
+
+  /// The hand-picked expert feature set of the paper's "Manual" TORCS
+  /// variant (Fig. 17).
+  static std::vector<std::string> manualFeatureNames();
+
+  static constexpr double TrackLen = 200.0;
+  static constexpr double HalfWidth = 2.0;
+  static constexpr double Speed = 0.5;
+
+private:
+  /// Track curvature at arc position \p At.
+  double curvatureAt(double At) const;
+
+  double S = 0.0;      // Arc length driven.
+  double Offset = 0.0; // Lateral offset from the centerline.
+  double Heading = 0.0; // Angle relative to the track tangent.
+  double Fuel = 1.0;
+  bool Bumped = false;
+  bool Finished = false;
+  std::vector<double> Curvature; // Per-unit-segment curvature.
+};
+
+} // namespace apps
+} // namespace au
+
+#endif // AU_APPS_TORCS_TORCS_H

@@ -1,0 +1,67 @@
+//===- core/Checkpoint.cpp - Program-state checkpoint/restore ------------===//
+
+#include "core/Checkpoint.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace au;
+
+Checkpointable::~Checkpointable() = default;
+
+void CheckpointManager::registerRegion(void *Ptr, size_t Bytes) {
+  assert(Ptr && Bytes > 0 && "invalid checkpoint region");
+  for (const Region &R : Regions)
+    if (R.Ptr == Ptr)
+      return; // Already registered.
+  Regions.push_back({Ptr, Bytes});
+}
+
+void CheckpointManager::registerObject(Checkpointable *Obj) {
+  assert(Obj && "null checkpointable object");
+  for (Checkpointable *O : Objects)
+    if (O == Obj)
+      return; // Already registered.
+  Objects.push_back(Obj);
+}
+
+void CheckpointManager::checkpoint(const DatabaseStore &Db) {
+  RegionData.clear();
+  RegionData.reserve(Regions.size());
+  for (const Region &R : Regions) {
+    std::vector<uint8_t> Buf(R.Bytes);
+    std::memcpy(Buf.data(), R.Ptr, R.Bytes);
+    RegionData.push_back(std::move(Buf));
+  }
+  ObjectData.clear();
+  ObjectData.reserve(Objects.size());
+  for (Checkpointable *Obj : Objects) {
+    std::vector<uint8_t> Buf;
+    Obj->saveState(Buf);
+    ObjectData.push_back(std::move(Buf));
+  }
+  DbSnapshot = Db;
+  HasSnapshot = true;
+}
+
+void CheckpointManager::restore(DatabaseStore &Db) {
+  assert(HasSnapshot && "restore without a checkpoint");
+  assert(RegionData.size() == Regions.size() &&
+         ObjectData.size() == Objects.size() &&
+         "registration changed since the checkpoint was taken");
+  for (size_t I = 0, E = Regions.size(); I != E; ++I)
+    std::memcpy(Regions[I].Ptr, RegionData[I].data(), Regions[I].Bytes);
+  for (size_t I = 0, E = Objects.size(); I != E; ++I)
+    Objects[I]->loadState(ObjectData[I]);
+  Db = DbSnapshot;
+}
+
+size_t CheckpointManager::snapshotBytes() const {
+  size_t Bytes = 0;
+  for (const auto &Buf : RegionData)
+    Bytes += Buf.size();
+  for (const auto &Buf : ObjectData)
+    Bytes += Buf.size();
+  Bytes += DbSnapshot.totalValues() * sizeof(float);
+  return Bytes;
+}

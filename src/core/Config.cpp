@@ -1,0 +1,40 @@
+//===- core/Config.cpp - Autonomizer model configuration -----------------===//
+
+#include "core/Config.h"
+
+#include <cassert>
+
+using namespace au;
+
+const char *au::modelTypeName(ModelType T) {
+  switch (T) {
+  case ModelType::DNN:
+    return "DNN";
+  case ModelType::CNN:
+    return "CNN";
+  }
+  assert(false && "unknown model type");
+  return "?";
+}
+
+const char *au::algorithmName(Algorithm A) {
+  switch (A) {
+  case Algorithm::QLearn:
+    return "QLearn";
+  case Algorithm::AdamOpt:
+    return "AdamOpt";
+  }
+  assert(false && "unknown algorithm");
+  return "?";
+}
+
+const char *au::modeName(Mode M) {
+  switch (M) {
+  case Mode::TR:
+    return "TR";
+  case Mode::TS:
+    return "TS";
+  }
+  assert(false && "unknown mode");
+  return "?";
+}

@@ -1,0 +1,76 @@
+//===- core/Config.h - Autonomizer model configuration ---------*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The configuration vocabulary of the au_config primitive (Fig. 8,
+/// Definitions): ModelType delta ::= DNN | CNN, Algorithm alpha ::= Q |
+/// AdamOpt, and Mode omega ::= TR | TS. A ModelConfig is what au_config
+/// stores until the runtime knows the input/output sizes (which the paper
+/// computes automatically from the data fed to the network).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_CORE_CONFIG_H
+#define AU_CORE_CONFIG_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace au {
+class Rng;
+namespace nn {
+class Network;
+} // namespace nn
+} // namespace au
+
+namespace au {
+
+/// Model type delta of the semantics.
+enum class ModelType { DNN, CNN };
+
+/// Learning algorithm alpha of the semantics: Q-learning for RL,
+/// Adam-optimized regression for SL.
+enum class Algorithm { QLearn, AdamOpt };
+
+/// Execution mode omega: TR piggybacks training on software execution,
+/// TS is the deployment (production/testing) mode that only predicts.
+enum class Mode { TR, TS };
+
+/// Everything au_config supplies; layer input/output sizes are inferred
+/// later from the extracted data and the write-back declaration.
+struct ModelConfig {
+  std::string Name;
+  ModelType Type = ModelType::DNN;
+  Algorithm Algo = Algorithm::AdamOpt;
+  /// Hidden layer widths (the paper's "2, 256, 64" means two hidden layers
+  /// of 256 and 64 neurons).
+  std::vector<int> HiddenLayers;
+  /// For CNN models: input frame side length (square) and channel count.
+  int FrameSide = 0;
+  int FrameChannels = 1;
+  /// Learning-rate override; <= 0 selects the per-algorithm default.
+  double LearningRate = 0.0;
+  /// Deterministic seed for weight initialization and exploration.
+  unsigned long long Seed = 1;
+  /// The paper's escape hatch: "a callback function in which the users
+  /// can create arbitrary neural networks from scratch". When set, it
+  /// overrides Type/HiddenLayers and must build a network mapping the
+  /// given input size to the given output size. Models built this way
+  /// cannot be reloaded by CONFIG-TEST unless the same callback is
+  /// supplied again.
+  std::function<nn::Network(int InSize, int OutSize, Rng &Rand)>
+      CustomNetwork;
+};
+
+/// Human-readable names for diagnostics.
+const char *modelTypeName(ModelType T);
+const char *algorithmName(Algorithm A);
+const char *modeName(Mode M);
+
+} // namespace au
+
+#endif // AU_CORE_CONFIG_H

@@ -1,0 +1,55 @@
+//===- core/DatabaseStore.cpp - The database store (pi) -------------------===//
+
+#include "core/DatabaseStore.h"
+
+#include <cassert>
+
+using namespace au;
+
+void DatabaseStore::append(const std::string &Name,
+                           const std::vector<float> &Values) {
+  std::vector<float> &List = Entries[Name];
+  List.insert(List.end(), Values.begin(), Values.end());
+  Appended += Values.size();
+}
+
+void DatabaseStore::append(const std::string &Name, float Value) {
+  Entries[Name].push_back(Value);
+  ++Appended;
+}
+
+const std::vector<float> &DatabaseStore::get(const std::string &Name) const {
+  static const std::vector<float> Empty;
+  auto It = Entries.find(Name);
+  return It == Entries.end() ? Empty : It->second;
+}
+
+void DatabaseStore::set(const std::string &Name, std::vector<float> Values) {
+  Entries[Name] = std::move(Values);
+}
+
+void DatabaseStore::reset(const std::string &Name) { Entries.erase(Name); }
+
+bool DatabaseStore::contains(const std::string &Name) const {
+  return Entries.count(Name) != 0;
+}
+
+std::string DatabaseStore::serialize(const std::vector<std::string> &Names) {
+  assert(!Names.empty() && "serialize of no lists");
+  std::string Combined;
+  std::vector<float> Values;
+  for (const std::string &N : Names) {
+    Combined += N;
+    const std::vector<float> &List = get(N);
+    Values.insert(Values.end(), List.begin(), List.end());
+  }
+  set(Combined, std::move(Values));
+  return Combined;
+}
+
+size_t DatabaseStore::totalValues() const {
+  size_t N = 0;
+  for (const auto &[Name, List] : Entries)
+    N += List.size();
+  return N;
+}

@@ -1,0 +1,69 @@
+//===- core/DatabaseStore.h - The database store (pi) ----------*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The database store pi of the operational semantics (Fig. 8): a mapping
+/// from string names to lists of values. au_extract appends feature-variable
+/// values here; model outputs are put here before au_write_back copies them
+/// into program variables. The store is isolated from program memory — all
+/// transfer is explicit through the primitives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_CORE_DATABASESTORE_H
+#define AU_CORE_DATABASESTORE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace au {
+
+/// pi ::= String -> list of Value. Copyable so checkpoints can snapshot it.
+class DatabaseStore {
+public:
+  /// Appends \p Values to the list under \p Name (Rule EXTRACT's concat).
+  void append(const std::string &Name, const std::vector<float> &Values);
+  void append(const std::string &Name, float Value);
+
+  /// The list under \p Name; empty when the name is unmapped (bottom).
+  const std::vector<float> &get(const std::string &Name) const;
+
+  /// Replaces the list under \p Name.
+  void set(const std::string &Name, std::vector<float> Values);
+
+  /// Maps \p Name back to bottom (Rule TRAIN/TEST reset the model-input
+  /// list after each au_NN).
+  void reset(const std::string &Name);
+
+  bool contains(const std::string &Name) const;
+
+  /// Rule SERIALIZE: concatenates the lists under \p Names into a single
+  /// list stored under the strcat of the names, and returns that combined
+  /// name.
+  std::string serialize(const std::vector<std::string> &Names);
+
+  /// Number of mapped (non-bottom) names.
+  size_t numEntries() const { return Entries.size(); }
+
+  /// Total stored floats across all lists.
+  size_t totalValues() const;
+
+  /// Cumulative floats ever appended (monotone; survives reset). This is
+  /// the Table 2 "Trace Size" accounting.
+  size_t lifetimeAppended() const { return Appended; }
+
+  /// Removes every entry (used by tests; not a primitive).
+  void clear() { Entries.clear(); }
+
+private:
+  std::map<std::string, std::vector<float>> Entries;
+  size_t Appended = 0;
+};
+
+} // namespace au
+
+#endif // AU_CORE_DATABASESTORE_H

@@ -1,0 +1,162 @@
+//===- core/Model.h - Model store entries (theta) --------------*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The model abstraction behind the model store theta. A model is created by
+/// au_config and built lazily once the runtime has seen the data that fixes
+/// the input and output layer sizes (the paper: "the size of the input and
+/// output layers is automatically computed based on the input fed to the
+/// network and the output to be predicted").
+///
+/// Two concrete kinds realize the two algorithms: SlModel (AdamOpt
+/// regression over collected (feature, target) samples, trained offline
+/// after execution) and RlModel (online Q-learning driven by the au_NN
+/// reward/terminal arguments). Dispatch uses an LLVM-style kind tag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_CORE_MODEL_H
+#define AU_CORE_MODEL_H
+
+#include "core/Config.h"
+#include "nn/QLearner.h"
+#include "nn/Supervised.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace au {
+
+/// One declared model output: for SL the number of predicted floats under
+/// this name; for RL the number of discrete actions (the paper's
+/// au_write_back("output", 5, actionKey)).
+struct WriteBackSpec {
+  std::string Name;
+  int Size = 1;
+};
+
+/// Base class for model-store entries.
+class Model {
+public:
+  enum class KindTy { Supervised, Reinforcement };
+
+  virtual ~Model();
+
+  KindTy kind() const { return Kind; }
+  const ModelConfig &config() const { return Cfg; }
+  bool isBuilt() const { return Built; }
+  int inputSize() const { return InSize; }
+
+  /// Declared outputs (fixed at build time).
+  const std::vector<WriteBackSpec> &outputs() const { return Outs; }
+
+  /// Serialized parameter footprint in bytes (Table 2 "Model Size").
+  virtual size_t modelSizeBytes() = 0;
+
+  /// Total trainable parameters.
+  virtual size_t numParams() = 0;
+
+  /// Persists the model (architecture + parameters + statistics) to
+  /// \p Path; returns false on I/O failure.
+  virtual bool save(const std::string &Path) = 0;
+
+  /// Loads a model persisted by save(); returns false on failure.
+  virtual bool load(const std::string &Path) = 0;
+
+protected:
+  Model(KindTy K, ModelConfig C) : Kind(K), Cfg(std::move(C)) {}
+
+  /// Builds the underlying network for \p InputSize, per the configured
+  /// type (DNN or DeepMind-style CNN over the configured frame geometry).
+  nn::Network makeNetwork(int InputSize, int OutSize, Rng &Rand) const;
+
+  KindTy Kind;
+  ModelConfig Cfg;
+  bool Built = false;
+  int InSize = 0;
+  std::vector<WriteBackSpec> Outs;
+};
+
+/// Supervised (AdamOpt) model: collects samples during TR runs, trains
+/// offline, predicts during TS runs.
+class SlModel : public Model {
+public:
+  explicit SlModel(ModelConfig C);
+
+  static bool classof(const Model *M) {
+    return M->kind() == KindTy::Supervised;
+  }
+
+  /// Records one complete training example; builds the network on first
+  /// use. \p Y is the concatenation of all declared outputs in order.
+  void addSample(const std::vector<float> &X, const std::vector<float> &Y,
+                 const std::vector<WriteBackSpec> &Outputs);
+
+  /// Offline training (the SL TR regime). Returns final mean loss.
+  double train(int Epochs, int BatchSize);
+
+  /// Predicts the concatenated outputs for features \p X. Requires a built
+  /// (trained or loaded) model.
+  std::vector<float> predict(const std::vector<float> &X);
+
+  size_t numSamples() const;
+  size_t modelSizeBytes() override;
+  size_t numParams() override;
+  bool save(const std::string &Path) override;
+  bool load(const std::string &Path) override;
+
+private:
+  int totalOutputSize() const;
+
+  std::unique_ptr<nn::SupervisedTrainer> Trainer;
+  Rng Rand;
+};
+
+/// Reinforcement (Q-learning) model: online training interleaved with
+/// software execution.
+class RlModel : public Model {
+public:
+  explicit RlModel(ModelConfig C);
+
+  static bool classof(const Model *M) {
+    return M->kind() == KindTy::Reinforcement;
+  }
+
+  /// One au_NN step: feeds the completed transition (previous state/action,
+  /// \p Reward, \p Terminal) to the learner when training, then selects the
+  /// next action for \p State. Builds the network on first use from
+  /// \p State's size and \p Output's action count. Terminal steps clear the
+  /// episode bookkeeping so a following au_restore starts cleanly.
+  int step(const std::vector<float> &State, float Reward, bool Terminal,
+           const WriteBackSpec &Output, bool Learning);
+
+  /// Q-values for diagnostics.
+  std::vector<float> qValues(const std::vector<float> &State);
+
+  nn::QLearner *learner() { return Learner.get(); }
+
+  /// Overrides the default Q hyperparameters; must precede the first step.
+  void setQConfig(const nn::QConfig &C);
+
+  size_t modelSizeBytes() override;
+  size_t numParams() override;
+  bool save(const std::string &Path) override;
+  bool load(const std::string &Path) override;
+
+private:
+  void build(int InputSize, const WriteBackSpec &Output);
+
+  std::unique_ptr<nn::QLearner> Learner;
+  nn::QConfig QCfg;
+  std::vector<float> PrevState;
+  int PrevAction = -1;
+  bool HavePrev = false;
+};
+
+} // namespace au
+
+#endif // AU_CORE_MODEL_H

@@ -1,0 +1,240 @@
+//===- core/Runtime.cpp - The Autonomizer runtime and primitives ---------===//
+
+#include "core/Runtime.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace au;
+
+Runtime::Runtime(Mode M, std::string Dir)
+    : ExecMode(M), ModelDir(std::move(Dir)) {}
+
+std::string Runtime::modelPath(const std::string &ModelName) const {
+  if (ModelDir.empty())
+    return ModelName + ".aumodel";
+  return ModelDir + "/" + ModelName + ".aumodel";
+}
+
+Model *Runtime::config(const ModelConfig &C) {
+  ++Stats.NumConfig;
+  // Rules CONFIG-TRAIN / CONFIG-TEST: only act when theta(name) is bottom.
+  auto It = Models.find(C.Name);
+  if (It != Models.end())
+    return It->second.get();
+
+  std::unique_ptr<Model> M;
+  if (C.Algo == Algorithm::QLearn)
+    M = std::make_unique<RlModel>(C);
+  else
+    M = std::make_unique<SlModel>(C);
+
+  if (ExecMode == Mode::TS) {
+    // CONFIG-TEST: load the trained model saved by a prior TR execution.
+    bool Loaded = M->load(modelPath(C.Name));
+    assert(Loaded && "TS-mode au_config could not load the trained model");
+    (void)Loaded;
+  }
+  Model *Raw = M.get();
+  Models.emplace(C.Name, std::move(M));
+  return Raw;
+}
+
+void Runtime::extract(const std::string &Name, size_t Size,
+                      const float *Data) {
+  assert(Data || Size == 0);
+  ++Stats.NumExtract;
+  Stats.FloatsExtracted += Size;
+  Db.append(Name, std::vector<float>(Data, Data + Size));
+}
+
+void Runtime::extract(const std::string &Name, size_t Size,
+                      const double *Data) {
+  assert(Data || Size == 0);
+  ++Stats.NumExtract;
+  Stats.FloatsExtracted += Size;
+  std::vector<float> Vals(Size);
+  for (size_t I = 0; I != Size; ++I)
+    Vals[I] = static_cast<float>(Data[I]);
+  Db.append(Name, Vals);
+}
+
+void Runtime::extract(const std::string &Name, float Value) {
+  ++Stats.NumExtract;
+  ++Stats.FloatsExtracted;
+  Db.append(Name, Value);
+}
+
+std::string Runtime::serialize(const std::vector<std::string> &Names) {
+  ++Stats.NumSerialize;
+  std::string Combined = Db.serialize(Names);
+  // Consume the constituent lists: they have been moved into the combined
+  // list. (Fig. 8's SERIALIZE leaves them mapped, but its TRAIN/TEST rules
+  // only reset the combined extName — without this refinement the model
+  // input would grow without bound across loop iterations.)
+  for (const std::string &N : Names)
+    if (N != Combined)
+      Db.reset(N);
+  return Combined;
+}
+
+void Runtime::nn(const std::string &ModelName, const std::string &ExtName,
+                 const std::vector<WriteBackSpec> &Outputs) {
+  ++Stats.NumNn;
+  Model *M = getModel(ModelName);
+  assert(M && "au_NN on an unconfigured model");
+  auto *Sl = static_cast<SlModel *>(M);
+  assert(SlModel::classof(M) && "supervised au_NN form on an RL model");
+  assert(!Outputs.empty() && "au_NN must declare at least one output");
+
+  std::vector<float> X = Db.get(ExtName);
+  assert(!X.empty() && "au_NN with an empty feature list");
+
+  for (const WriteBackSpec &O : Outputs)
+    WbOwner[O.Name] = ModelName;
+
+  if (ExecMode == Mode::TR) {
+    // Training is offline for SL: remember the features; the labels arrive
+    // through the write-backs of this loop iteration.
+    Pending.push_back({ModelName, std::move(X), Outputs, {}});
+  } else {
+    // Rule TEST: run the model and put the outputs into pi.
+    std::vector<float> Y = Sl->predict(X);
+    size_t Offset = 0;
+    for (const WriteBackSpec &O : Outputs) {
+      assert(Offset + O.Size <= Y.size() && "declared outputs exceed model");
+      Db.set(O.Name, std::vector<float>(Y.begin() + Offset,
+                                        Y.begin() + Offset + O.Size));
+      Offset += O.Size;
+    }
+  }
+  // Both TRAIN and TEST reset the model-input list (extName -> bottom).
+  Db.reset(ExtName);
+}
+
+void Runtime::nn(const std::string &ModelName, const std::string &ExtName,
+                 float Reward, bool Terminal, const WriteBackSpec &Output) {
+  ++Stats.NumNn;
+  Model *M = getModel(ModelName);
+  assert(M && "au_NN on an unconfigured model");
+  assert(RlModel::classof(M) && "RL au_NN form on a supervised model");
+  auto *Rl = static_cast<RlModel *>(M);
+
+  std::vector<float> State = Db.get(ExtName);
+  assert(!State.empty() && "au_NN with an empty state list");
+
+  WbOwner[Output.Name] = ModelName;
+  bool Learning = ExecMode == Mode::TR;
+  int Action = Rl->step(State, Reward, Terminal, Output, Learning);
+  Db.set(Output.Name, {static_cast<float>(Action)});
+  Db.reset(ExtName);
+}
+
+void Runtime::completePendingIfReady(PendingSample &P) {
+  if (P.Labels.size() != P.Outputs.size())
+    return;
+  std::vector<float> Y;
+  for (const WriteBackSpec &O : P.Outputs) {
+    const std::vector<float> &L = P.Labels[O.Name];
+    assert(static_cast<int>(L.size()) == O.Size && "label arity mismatch");
+    Y.insert(Y.end(), L.begin(), L.end());
+  }
+  auto *Sl = static_cast<SlModel *>(getModel(P.ModelName));
+  assert(Sl && "pending sample for a vanished model");
+  Sl->addSample(P.X, Y, P.Outputs);
+}
+
+void Runtime::writeBack(const std::string &Name, size_t Size, float *Data) {
+  ++Stats.NumWriteBack;
+  assert(Data && Size > 0 && "invalid write-back destination");
+
+  if (ExecMode == Mode::TR) {
+    // Supervised TR: the program variable currently holds the desirable
+    // value (chosen by the human user or the autotuner) — record it as the
+    // label of the pending sample.
+    for (auto It = Pending.rbegin(), E = Pending.rend(); It != E; ++It) {
+      PendingSample &P = *It;
+      bool Declared =
+          std::any_of(P.Outputs.begin(), P.Outputs.end(),
+                      [&](const WriteBackSpec &O) { return O.Name == Name; });
+      if (!Declared || P.Labels.count(Name))
+        continue;
+      P.Labels[Name] = std::vector<float>(Data, Data + Size);
+      Db.set(Name, P.Labels[Name]);
+      completePendingIfReady(P);
+      if (P.Labels.size() == P.Outputs.size())
+        Pending.erase(std::next(It).base());
+      return;
+    }
+    assert(false && "TR write-back without a matching au_NN");
+    return;
+  }
+
+  // Rule WRITE-BACK: pi[Name] -> program variable.
+  const std::vector<float> &Vals = Db.get(Name);
+  assert(Vals.size() >= Size && "write-back of more values than predicted");
+  std::copy(Vals.begin(), Vals.begin() + Size, Data);
+}
+
+void Runtime::writeBack(const std::string &Name, size_t Size, double *Data) {
+  std::vector<float> Tmp(Size);
+  if (ExecMode == Mode::TR)
+    for (size_t I = 0; I != Size; ++I)
+      Tmp[I] = static_cast<float>(Data[I]);
+  writeBack(Name, Size, Tmp.data());
+  if (ExecMode == Mode::TS)
+    for (size_t I = 0; I != Size; ++I)
+      Data[I] = Tmp[I];
+}
+
+void Runtime::writeBack(const std::string &Name, int NumActions,
+                        int *ActionKey) {
+  ++Stats.NumWriteBack;
+  assert(ActionKey && "invalid write-back destination");
+  auto OwnerIt = WbOwner.find(Name);
+  assert(OwnerIt != WbOwner.end() && "write-back before any au_NN");
+  [[maybe_unused]] Model *M = getModel(OwnerIt->second);
+  assert(M && RlModel::classof(M) && "action write-back on non-RL model");
+  assert(M->outputs().front().Size == NumActions &&
+         "action count disagrees with the au_NN declaration");
+  (void)NumActions;
+  const std::vector<float> &Vals = Db.get(Name);
+  assert(!Vals.empty() && "no predicted action in the database store");
+  *ActionKey = static_cast<int>(Vals.front());
+}
+
+void Runtime::checkpoint() {
+  ++Stats.NumCheckpoint;
+  Ckpt.checkpoint(Db);
+}
+
+void Runtime::restore() {
+  ++Stats.NumRestore;
+  Ckpt.restore(Db);
+}
+
+Model *Runtime::getModel(const std::string &Name) {
+  auto It = Models.find(Name);
+  return It == Models.end() ? nullptr : It->second.get();
+}
+
+double Runtime::trainSupervised(const std::string &ModelName, int Epochs,
+                                int BatchSize) {
+  Model *M = getModel(ModelName);
+  assert(M && SlModel::classof(M) && "trainSupervised on a non-SL model");
+  return static_cast<SlModel *>(M)->train(Epochs, BatchSize);
+}
+
+bool Runtime::saveModel(const std::string &ModelName) {
+  Model *M = getModel(ModelName);
+  if (!M)
+    return false;
+  return M->save(modelPath(ModelName));
+}
+
+bool Runtime::saveAllModels() {
+  bool Ok = true;
+  for (auto &[Name, M] : Models)
+    Ok = M->save(modelPath(Name)) && Ok;
+  return Ok;
+}

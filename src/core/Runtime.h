@@ -1,0 +1,188 @@
+//===- core/Runtime.h - The Autonomizer runtime and primitives -*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Autonomizer runtime: the seven primitives of Fig. 1 realized over the
+/// database store pi, the model store theta and the checkpoint manager,
+/// following the operational semantics of Fig. 8.
+///
+/// A program is autonomized by adding a few calls:
+///
+/// \code
+///   au::Runtime RT(au::Mode::TR);
+///   RT.config({.Name = "Mario", .Type = au::ModelType::DNN,
+///              .Algo = au::Algorithm::QLearn, .HiddenLayers = {256, 64}});
+///   ...
+///   RT.checkpoint();
+///   while (Running) {
+///     RT.extract("PX", Player.X);
+///     RT.extract("PY", Player.Y);
+///     RT.nn("Mario", RT.serialize({"PX", "PY"}), Reward, Terminated,
+///           {"output", /*NumActions=*/5});
+///     RT.writeBack("output", 5, &ActionKey);
+///     act(ActionKey);
+///     if (Terminated)
+///       RT.restore();
+///   }
+/// \endcode
+///
+/// In TR (training) mode the runtime piggybacks learning on the execution:
+/// supervised models record the program's own (human/autotuner-chosen)
+/// target values at au_write_back as labels and train offline via
+/// trainSupervised(); Q-learning models train online inside au_NN. In TS
+/// (deployment) mode au_config loads saved models and au_write_back
+/// overwrites the target variables with predictions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_CORE_RUNTIME_H
+#define AU_CORE_RUNTIME_H
+
+#include "core/Checkpoint.h"
+#include "core/Config.h"
+#include "core/DatabaseStore.h"
+#include "core/Model.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace au {
+
+/// Primitive-level counters (used by the overhead microbenchmarks and by
+/// the Table 2 trace-size accounting).
+struct RuntimeStats {
+  size_t NumConfig = 0;
+  size_t NumExtract = 0;
+  size_t FloatsExtracted = 0;
+  size_t NumSerialize = 0;
+  size_t NumNn = 0;
+  size_t NumWriteBack = 0;
+  size_t NumCheckpoint = 0;
+  size_t NumRestore = 0;
+
+  /// Trace footprint in bytes (extracted floats), Table 2's "Trace Size".
+  size_t traceBytes() const { return FloatsExtracted * sizeof(float); }
+};
+
+/// The Autonomizer runtime. One instance supports multiple model instances
+/// in one execution, as the paper requires.
+class Runtime {
+public:
+  /// \p ModelDir is where TS-mode au_config looks for saved models and
+  /// where saveModel() writes them ("" = current directory).
+  explicit Runtime(Mode M, std::string ModelDir = "");
+
+  Mode mode() const { return ExecMode; }
+
+  /// Switches mode in place (e.g. evaluate a freshly trained in-memory
+  /// model without a save/load round trip). The semantics fixes the mode
+  /// per execution; this is a harness convenience.
+  void switchMode(Mode M) { ExecMode = M; }
+
+  //===--------------------------------------------------------------------===//
+  // Primitives
+  //===--------------------------------------------------------------------===//
+
+  /// au_config: Rule CONFIG-TRAIN creates the model if absent; Rule
+  /// CONFIG-TEST loads it from ModelDir instead. Returns the model.
+  Model *config(const ModelConfig &C);
+
+  /// au_extract: Rule EXTRACT appends Size values to pi[Name].
+  void extract(const std::string &Name, size_t Size, const float *Data);
+  void extract(const std::string &Name, size_t Size, const double *Data);
+  void extract(const std::string &Name, float Value);
+  void extract(const std::string &Name, double Value) {
+    extract(Name, static_cast<float>(Value));
+  }
+  void extract(const std::string &Name, int Value) {
+    extract(Name, static_cast<float>(Value));
+  }
+
+  /// au_serialize: Rule SERIALIZE concatenates lists (and names); returns
+  /// the combined name to pass to nn().
+  std::string serialize(const std::vector<std::string> &Names);
+
+  /// au_NN, supervised form: consumes pi[ExtName] as the feature vector and
+  /// declares the outputs this model predicts. TR records a pending sample
+  /// completed by the write-backs; TS writes predictions into pi.
+  void nn(const std::string &ModelName, const std::string &ExtName,
+          const std::vector<WriteBackSpec> &Outputs);
+
+  /// au_NN, reinforcement form (the paper's au_NN(model, ext, reward, term,
+  /// wbName)): consumes pi[ExtName] as the state, feeds (reward, terminal)
+  /// to the learner (TR trains online per Rule TRAIN; TS only predicts per
+  /// Rule TEST) and stores the selected action in pi[Output.Name].
+  void nn(const std::string &ModelName, const std::string &ExtName,
+          float Reward, bool Terminal, const WriteBackSpec &Output);
+
+  /// au_write_back: Rule WRITE-BACK copies pi[Name] into the program
+  /// variable. In TR mode, supervised outputs flow the opposite way: the
+  /// program's current values are recorded as the training label.
+  void writeBack(const std::string &Name, size_t Size, float *Data);
+  void writeBack(const std::string &Name, size_t Size, double *Data);
+
+  /// RL write-back: \p NumActions documents the action count (the paper's
+  /// "the value 5 means there are 5 possible actions"); the predicted
+  /// action index is stored into *ActionKey.
+  void writeBack(const std::string &Name, int NumActions, int *ActionKey);
+
+  /// au_checkpoint: Rule CHECKPOINT snapshots registered program state and
+  /// pi; model state theta is deliberately excluded.
+  void checkpoint();
+
+  /// au_restore: Rule RESTORE rolls program state and pi back to the last
+  /// checkpoint; models keep their accumulated learning.
+  void restore();
+
+  //===--------------------------------------------------------------------===//
+  // Runtime support
+  //===--------------------------------------------------------------------===//
+
+  DatabaseStore &db() { return Db; }
+  CheckpointManager &checkpoints() { return Ckpt; }
+  const RuntimeStats &stats() const { return Stats; }
+
+  /// Looks up a configured model; null when absent.
+  Model *getModel(const std::string &Name);
+
+  /// Offline supervised training over the samples collected in TR mode.
+  /// Returns the final epoch's mean loss.
+  double trainSupervised(const std::string &ModelName, int Epochs,
+                         int BatchSize);
+
+  /// Persists one model / all models to ModelDir.
+  bool saveModel(const std::string &ModelName);
+  bool saveAllModels();
+
+  /// The file path a model is saved to / loaded from.
+  std::string modelPath(const std::string &ModelName) const;
+
+private:
+  /// An SL au_NN whose labels have not all arrived yet (TR mode).
+  struct PendingSample {
+    std::string ModelName;
+    std::vector<float> X;
+    std::vector<WriteBackSpec> Outputs;
+    std::map<std::string, std::vector<float>> Labels;
+  };
+
+  void completePendingIfReady(PendingSample &P);
+
+  Mode ExecMode;
+  std::string ModelDir;
+  DatabaseStore Db;
+  CheckpointManager Ckpt;
+  std::map<std::string, std::unique_ptr<Model>> Models; // theta
+  std::map<std::string, std::string> WbOwner; // wbName -> model name
+  std::vector<PendingSample> Pending;
+  RuntimeStats Stats;
+};
+
+} // namespace au
+
+#endif // AU_CORE_RUNTIME_H

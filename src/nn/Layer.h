@@ -1,0 +1,66 @@
+//===- nn/Layer.h - Neural network layer interface -------------*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The layer abstraction for the NN substrate. Layers process one sample at a
+/// time (the networks in the paper are tiny — two to six dense layers — so
+/// single-sample processing with externally accumulated minibatch gradients
+/// is both simple and fast enough). A layer owns its parameters and the
+/// gradient accumulators that the optimizers consume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_NN_LAYER_H
+#define AU_NN_LAYER_H
+
+#include "nn/Tensor.h"
+
+#include <string>
+#include <vector>
+
+namespace au {
+class Rng;
+namespace nn {
+
+/// A view of one parameter tensor and its gradient accumulator, handed to
+/// optimizers. Both spans have \p Count elements.
+struct ParamView {
+  float *Values;
+  float *Grads;
+  size_t Count;
+};
+
+/// Base class for all layers. Forward caches whatever backward needs, so a
+/// layer instance processes one sample at a time (forward immediately
+/// followed by the matching backward).
+class Layer {
+public:
+  virtual ~Layer();
+
+  /// Computes the layer output for \p In, caching activations for backward.
+  virtual Tensor forward(const Tensor &In) = 0;
+
+  /// Given dLoss/dOut, accumulates parameter gradients and returns
+  /// dLoss/dIn. Must follow a forward() on the same sample.
+  virtual Tensor backward(const Tensor &GradOut) = 0;
+
+  /// Parameter tensors (empty for stateless layers such as ReLU).
+  virtual std::vector<ParamView> params() { return {}; }
+
+  /// Zeroes all gradient accumulators.
+  void zeroGrads();
+
+  /// Total number of trainable scalars.
+  size_t numParams();
+
+  /// Human-readable layer kind for diagnostics and serialization.
+  virtual std::string kind() const = 0;
+};
+
+} // namespace nn
+} // namespace au
+
+#endif // AU_NN_LAYER_H

@@ -1,0 +1,238 @@
+//===- nn/Layers.cpp - Concrete layer implementations --------------------===//
+
+#include "nn/Layers.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace au;
+using namespace au::nn;
+
+Layer::~Layer() = default;
+
+void Layer::zeroGrads() {
+  for (ParamView P : params())
+    std::fill(P.Grads, P.Grads + P.Count, 0.0f);
+}
+
+size_t Layer::numParams() {
+  size_t N = 0;
+  for (ParamView P : params())
+    N += P.Count;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Dense
+//===----------------------------------------------------------------------===//
+
+Dense::Dense(int InSize, int OutSize, Rng &Rand) : In(InSize), Out(OutSize) {
+  assert(InSize > 0 && OutSize > 0 && "dense layer sizes must be positive");
+  W.resize(static_cast<size_t>(In) * Out);
+  B.assign(static_cast<size_t>(Out), 0.0f);
+  GW.assign(W.size(), 0.0f);
+  GB.assign(B.size(), 0.0f);
+  // He-uniform initialization, appropriate for the ReLU stacks used here.
+  double Limit = std::sqrt(6.0 / In);
+  for (float &V : W)
+    V = static_cast<float>(Rand.uniform(-Limit, Limit));
+}
+
+Tensor Dense::forward(const Tensor &Input) {
+  assert(Input.size() == static_cast<size_t>(In) &&
+         "dense input size mismatch");
+  LastIn = Input;
+  Tensor Y(std::vector<int>{Out});
+  for (int O = 0; O < Out; ++O) {
+    float Acc = B[O];
+    const float *Row = &W[static_cast<size_t>(O) * In];
+    const float *X = Input.data();
+    for (int I = 0; I < In; ++I)
+      Acc += Row[I] * X[I];
+    Y[O] = Acc;
+  }
+  return Y;
+}
+
+Tensor Dense::backward(const Tensor &GradOut) {
+  assert(GradOut.size() == static_cast<size_t>(Out) &&
+         "dense gradient size mismatch");
+  assert(LastIn.size() == static_cast<size_t>(In) &&
+         "backward without matching forward");
+  Tensor GradIn(std::vector<int>{In});
+  for (int O = 0; O < Out; ++O) {
+    float G = GradOut[O];
+    GB[O] += G;
+    float *GRow = &GW[static_cast<size_t>(O) * In];
+    const float *Row = &W[static_cast<size_t>(O) * In];
+    const float *X = LastIn.data();
+    float *GI = GradIn.data();
+    for (int I = 0; I < In; ++I) {
+      GRow[I] += G * X[I];
+      GI[I] += G * Row[I];
+    }
+  }
+  return GradIn;
+}
+
+std::vector<ParamView> Dense::params() {
+  return {{W.data(), GW.data(), W.size()}, {B.data(), GB.data(), B.size()}};
+}
+
+//===----------------------------------------------------------------------===//
+// ReLU
+//===----------------------------------------------------------------------===//
+
+Tensor ReLU::forward(const Tensor &In) {
+  LastIn = In;
+  Tensor Y = In;
+  for (float &V : Y.values())
+    V = std::max(V, 0.0f);
+  return Y;
+}
+
+Tensor ReLU::backward(const Tensor &GradOut) {
+  assert(GradOut.size() == LastIn.size() && "relu gradient size mismatch");
+  Tensor GradIn = GradOut;
+  for (size_t I = 0, E = GradIn.size(); I != E; ++I)
+    if (LastIn[I] <= 0.0f)
+      GradIn[I] = 0.0f;
+  return GradIn;
+}
+
+//===----------------------------------------------------------------------===//
+// Conv2D
+//===----------------------------------------------------------------------===//
+
+Conv2D::Conv2D(int InChannels, int OutChannels, int KernelSize, int Stride,
+               Rng &Rand)
+    : InC(InChannels), OutC(OutChannels), K(KernelSize), S(Stride) {
+  assert(InC > 0 && OutC > 0 && K > 0 && S > 0 && "invalid conv parameters");
+  W.resize(static_cast<size_t>(OutC) * InC * K * K);
+  B.assign(static_cast<size_t>(OutC), 0.0f);
+  GW.assign(W.size(), 0.0f);
+  GB.assign(B.size(), 0.0f);
+  double Limit = std::sqrt(6.0 / (static_cast<double>(InC) * K * K));
+  for (float &V : W)
+    V = static_cast<float>(Rand.uniform(-Limit, Limit));
+}
+
+Tensor Conv2D::forward(const Tensor &In) {
+  assert(In.rank() == 3 && In.dim(0) == InC && "conv input shape mismatch");
+  int H = In.dim(1), Wd = In.dim(2);
+  assert(H >= K && Wd >= K && "conv input smaller than kernel");
+  int OH = (H - K) / S + 1;
+  int OW = (Wd - K) / S + 1;
+  LastIn = In;
+  Tensor Out(std::vector<int>{OutC, OH, OW});
+  for (int Oc = 0; Oc < OutC; ++Oc)
+    for (int Oy = 0; Oy < OH; ++Oy)
+      for (int Ox = 0; Ox < OW; ++Ox) {
+        float Acc = B[Oc];
+        for (int Ic = 0; Ic < InC; ++Ic)
+          for (int Ky = 0; Ky < K; ++Ky)
+            for (int Kx = 0; Kx < K; ++Kx) {
+              size_t WIdx =
+                  ((static_cast<size_t>(Oc) * InC + Ic) * K + Ky) * K + Kx;
+              Acc += W[WIdx] * In.at3(Ic, Oy * S + Ky, Ox * S + Kx);
+            }
+        Out.at3(Oc, Oy, Ox) = Acc;
+      }
+  return Out;
+}
+
+Tensor Conv2D::backward(const Tensor &GradOut) {
+  assert(GradOut.rank() == 3 && GradOut.dim(0) == OutC &&
+         "conv gradient shape mismatch");
+  int OH = GradOut.dim(1), OW = GradOut.dim(2);
+  Tensor GradIn(LastIn.shape());
+  for (int Oc = 0; Oc < OutC; ++Oc)
+    for (int Oy = 0; Oy < OH; ++Oy)
+      for (int Ox = 0; Ox < OW; ++Ox) {
+        float G = GradOut.at3(Oc, Oy, Ox);
+        GB[Oc] += G;
+        for (int Ic = 0; Ic < InC; ++Ic)
+          for (int Ky = 0; Ky < K; ++Ky)
+            for (int Kx = 0; Kx < K; ++Kx) {
+              size_t WIdx =
+                  ((static_cast<size_t>(Oc) * InC + Ic) * K + Ky) * K + Kx;
+              GW[WIdx] += G * LastIn.at3(Ic, Oy * S + Ky, Ox * S + Kx);
+              GradIn.at3(Ic, Oy * S + Ky, Ox * S + Kx) += G * W[WIdx];
+            }
+      }
+  return GradIn;
+}
+
+std::vector<ParamView> Conv2D::params() {
+  return {{W.data(), GW.data(), W.size()}, {B.data(), GB.data(), B.size()}};
+}
+
+//===----------------------------------------------------------------------===//
+// MaxPool2D
+//===----------------------------------------------------------------------===//
+
+Tensor MaxPool2D::forward(const Tensor &In) {
+  assert(In.rank() == 3 && "maxpool input must be rank 3");
+  int C = In.dim(0), H = In.dim(1), W = In.dim(2);
+  int OH = H / 2, OW = W / 2;
+  assert(OH > 0 && OW > 0 && "maxpool input too small");
+  LastIn = In;
+  OutShape = {C, OH, OW};
+  Tensor Out(OutShape);
+  ArgMax.assign(Out.size(), 0);
+  size_t Flat = 0;
+  for (int Ch = 0; Ch < C; ++Ch)
+    for (int Oy = 0; Oy < OH; ++Oy)
+      for (int Ox = 0; Ox < OW; ++Ox, ++Flat) {
+        float Best = -1e30f;
+        size_t BestIdx = 0;
+        for (int Dy = 0; Dy < 2; ++Dy)
+          for (int Dx = 0; Dx < 2; ++Dx) {
+            int Y = Oy * 2 + Dy, X = Ox * 2 + Dx;
+            float V = In.at3(Ch, Y, X);
+            if (V > Best) {
+              Best = V;
+              BestIdx = (static_cast<size_t>(Ch) * H + Y) * W + X;
+            }
+          }
+        Out.values()[Flat] = Best;
+        ArgMax[Flat] = BestIdx;
+      }
+  return Out;
+}
+
+Tensor MaxPool2D::backward(const Tensor &GradOut) {
+  assert(GradOut.size() == ArgMax.size() && "maxpool gradient size mismatch");
+  Tensor GradIn(LastIn.shape());
+  for (size_t I = 0, E = GradOut.size(); I != E; ++I)
+    GradIn.values()[ArgMax[I]] += GradOut[I];
+  return GradIn;
+}
+
+//===----------------------------------------------------------------------===//
+// Reshape
+//===----------------------------------------------------------------------===//
+
+Tensor Reshape::forward(const Tensor &In) {
+  InShape = In.shape();
+  return In.reshaped(Target);
+}
+
+Tensor Reshape::backward(const Tensor &GradOut) {
+  return GradOut.reshaped(InShape);
+}
+
+//===----------------------------------------------------------------------===//
+// Flatten
+//===----------------------------------------------------------------------===//
+
+Tensor Flatten::forward(const Tensor &In) {
+  InShape = In.shape();
+  return In.reshaped({static_cast<int>(In.size())});
+}
+
+Tensor Flatten::backward(const Tensor &GradOut) {
+  return GradOut.reshaped(InShape);
+}

@@ -1,0 +1,57 @@
+//===- nn/Loss.cpp - Loss functions ---------------------------------------===//
+
+#include "nn/Loss.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace au;
+using namespace au::nn;
+
+double au::nn::mseLoss(const Tensor &Pred, const Tensor &Target,
+                       Tensor &Grad) {
+  assert(Pred.size() == Target.size() && "loss size mismatch");
+  assert(!Pred.empty() && "loss of empty tensors");
+  Grad = Tensor(Pred.shape());
+  double Loss = 0.0;
+  double InvN = 1.0 / static_cast<double>(Pred.size());
+  for (size_t I = 0, E = Pred.size(); I != E; ++I) {
+    double D = Pred[I] - Target[I];
+    Loss += D * D * InvN;
+    Grad[I] = static_cast<float>(2.0 * D * InvN);
+  }
+  return Loss;
+}
+
+double au::nn::huberLoss(const Tensor &Pred, const Tensor &Target,
+                         Tensor &Grad) {
+  assert(Pred.size() == Target.size() && "loss size mismatch");
+  assert(!Pred.empty() && "loss of empty tensors");
+  Grad = Tensor(Pred.shape());
+  double Loss = 0.0;
+  double InvN = 1.0 / static_cast<double>(Pred.size());
+  for (size_t I = 0, E = Pred.size(); I != E; ++I) {
+    double D = Pred[I] - Target[I];
+    if (std::abs(D) <= 1.0) {
+      Loss += 0.5 * D * D * InvN;
+      Grad[I] = static_cast<float>(D * InvN);
+    } else {
+      Loss += (std::abs(D) - 0.5) * InvN;
+      Grad[I] = static_cast<float>((D > 0 ? 1.0 : -1.0) * InvN);
+    }
+  }
+  return Loss;
+}
+
+double au::nn::huberLossAt(const Tensor &Pred, size_t Index, float Target,
+                           Tensor &Grad) {
+  assert(Index < Pred.size() && "huberLossAt index out of range");
+  Grad = Tensor(Pred.shape());
+  double D = Pred[Index] - Target;
+  if (std::abs(D) <= 1.0) {
+    Grad[Index] = static_cast<float>(D);
+    return 0.5 * D * D;
+  }
+  Grad[Index] = D > 0 ? 1.0f : -1.0f;
+  return std::abs(D) - 0.5;
+}

@@ -1,0 +1,37 @@
+//===- nn/Loss.h - Loss functions ------------------------------*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loss functions for the two learning regimes: mean-squared error for the
+/// supervised parameter-prediction models and for the Q-value regression of
+/// the Q-learning rule (Huber is provided as the more robust DQN variant).
+/// Each returns the scalar loss and fills the gradient w.r.t. the prediction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_NN_LOSS_H
+#define AU_NN_LOSS_H
+
+#include "nn/Tensor.h"
+
+namespace au {
+namespace nn {
+
+/// Mean-squared error: mean((Pred - Target)^2). \p Grad gets d/dPred.
+double mseLoss(const Tensor &Pred, const Tensor &Target, Tensor &Grad);
+
+/// Huber loss with delta = 1, averaged over elements.
+double huberLoss(const Tensor &Pred, const Tensor &Target, Tensor &Grad);
+
+/// Huber loss applied to a single output element \p Index (the action whose
+/// Q-value is being regressed); other elements receive zero gradient.
+double huberLossAt(const Tensor &Pred, size_t Index, float Target,
+                   Tensor &Grad);
+
+} // namespace nn
+} // namespace au
+
+#endif // AU_NN_LOSS_H

@@ -1,0 +1,67 @@
+//===- nn/Optimizer.cpp - Gradient-descent optimizers --------------------===//
+
+#include "nn/Optimizer.h"
+
+#include "nn/Network.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace au;
+using namespace au::nn;
+
+Optimizer::~Optimizer() = default;
+
+Sgd::Sgd(Network &Net, double LearningRate, double Momentum)
+    : Params(Net.params()), Lr(LearningRate), Mu(Momentum) {
+  assert(Lr > 0 && "learning rate must be positive");
+  Velocity.reserve(Params.size());
+  for (const ParamView &P : Params)
+    Velocity.emplace_back(P.Count, 0.0f);
+}
+
+void Sgd::step(double BatchScale) {
+  for (size_t T = 0, E = Params.size(); T != E; ++T) {
+    ParamView &P = Params[T];
+    std::vector<float> &Vel = Velocity[T];
+    for (size_t I = 0; I != P.Count; ++I) {
+      float G = static_cast<float>(P.Grads[I] * BatchScale);
+      Vel[I] = static_cast<float>(Mu * Vel[I] - Lr * G);
+      P.Values[I] += Vel[I];
+      P.Grads[I] = 0.0f;
+    }
+  }
+}
+
+Adam::Adam(Network &Net, double LearningRate, double Beta1, double Beta2,
+           double Epsilon)
+    : Params(Net.params()), Lr(LearningRate), B1(Beta1), B2(Beta2),
+      Eps(Epsilon) {
+  assert(Lr > 0 && "learning rate must be positive");
+  M.reserve(Params.size());
+  V.reserve(Params.size());
+  for (const ParamView &P : Params) {
+    M.emplace_back(P.Count, 0.0f);
+    V.emplace_back(P.Count, 0.0f);
+  }
+}
+
+void Adam::step(double BatchScale) {
+  ++Step;
+  double Bias1 = 1.0 - std::pow(B1, Step);
+  double Bias2 = 1.0 - std::pow(B2, Step);
+  for (size_t T = 0, E = Params.size(); T != E; ++T) {
+    ParamView &P = Params[T];
+    std::vector<float> &Mt = M[T];
+    std::vector<float> &Vt = V[T];
+    for (size_t I = 0; I != P.Count; ++I) {
+      double G = P.Grads[I] * BatchScale;
+      Mt[I] = static_cast<float>(B1 * Mt[I] + (1.0 - B1) * G);
+      Vt[I] = static_cast<float>(B2 * Vt[I] + (1.0 - B2) * G * G);
+      double MHat = Mt[I] / Bias1;
+      double VHat = Vt[I] / Bias2;
+      P.Values[I] -= static_cast<float>(Lr * MHat / (std::sqrt(VHat) + Eps));
+      P.Grads[I] = 0.0f;
+    }
+  }
+}

@@ -1,0 +1,86 @@
+//===- nn/QLearner.cpp - Deep Q-learning ----------------------------------===//
+
+#include "nn/QLearner.h"
+
+#include "nn/Loss.h"
+
+#include <cassert>
+
+using namespace au;
+using namespace au::nn;
+
+QLearner::QLearner(std::function<Network()> MakeNet, int Actions,
+                   QConfig Config, uint64_t Seed)
+    : Online(MakeNet()), Target(MakeNet()), Opt(Online, Config.LearningRate),
+      NumActions(Actions), Cfg(Config), Rand(Seed), Eps(Config.EpsilonStart) {
+  assert(NumActions > 1 && "Q-learning needs at least two actions");
+  Target.copyParamsFrom(Online);
+}
+
+std::vector<float> QLearner::qValues(const std::vector<float> &State) {
+  Tensor Out = Online.forward(Tensor::fromVector(State));
+  assert(Out.size() == static_cast<size_t>(NumActions) &&
+         "network output arity does not match action count");
+  return Out.values();
+}
+
+int QLearner::selectAction(const std::vector<float> &State, bool Learning) {
+  if (Learning && Rand.chance(Eps))
+    return static_cast<int>(Rand.uniformInt(NumActions));
+  return greedyAction(State);
+}
+
+int QLearner::greedyAction(const std::vector<float> &State) {
+  Tensor Out = Online.forward(Tensor::fromVector(State));
+  return static_cast<int>(Out.argmax());
+}
+
+void QLearner::observe(const std::vector<float> &State, int Action,
+                       float Reward, const std::vector<float> &NextState,
+                       bool Terminal) {
+  assert(Action >= 0 && Action < NumActions && "action out of range");
+  Replay.push_back({State, Action, Reward, NextState, Terminal});
+  if (Replay.size() > static_cast<size_t>(Cfg.ReplayCapacity))
+    Replay.pop_front();
+  ++Steps;
+
+  // Linear epsilon decay over the configured horizon.
+  if (Eps > Cfg.EpsilonEnd) {
+    double Frac = static_cast<double>(Steps) / Cfg.EpsilonDecaySteps;
+    Eps = Cfg.EpsilonStart +
+          (Cfg.EpsilonEnd - Cfg.EpsilonStart) * std::min(1.0, Frac);
+  }
+
+  // Optional learning-rate annealing over twice the epsilon horizon.
+  if (Cfg.LearningRateEnd > 0.0) {
+    double Frac = std::min(
+        1.0, static_cast<double>(Steps) / (2.0 * Cfg.EpsilonDecaySteps));
+    Opt.setLearningRate(Cfg.LearningRate +
+                        (Cfg.LearningRateEnd - Cfg.LearningRate) * Frac);
+  }
+
+  if (Steps >= Cfg.WarmupSteps && Steps % Cfg.TrainInterval == 0)
+    trainStep();
+  if (Steps % Cfg.TargetSyncInterval == 0)
+    Target.copyParamsFrom(Online);
+}
+
+void QLearner::trainStep() {
+  if (Replay.size() < static_cast<size_t>(Cfg.BatchSize))
+    return;
+  Online.zeroGrads();
+  for (int B = 0; B < Cfg.BatchSize; ++B) {
+    const Transition &T = Replay[Rand.uniformInt(Replay.size())];
+    // Bootstrap target: r + gamma * max_a' Q_target(s', a') unless terminal.
+    float Y = T.Reward;
+    if (!T.Terminal) {
+      Tensor NextQ = Target.forward(Tensor::fromVector(T.NextState));
+      Y += static_cast<float>(Cfg.Gamma) * NextQ.maxValue();
+    }
+    Tensor Pred = Online.forward(Tensor::fromVector(T.State));
+    Tensor Grad;
+    huberLossAt(Pred, static_cast<size_t>(T.Action), Y, Grad);
+    Online.backward(Grad);
+  }
+  Opt.step(1.0 / Cfg.BatchSize);
+}

@@ -1,0 +1,106 @@
+//===- nn/QLearner.h - Deep Q-learning --------------------------*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep Q-learning (Watkins' Q algorithm with a neural function approximator,
+/// experience replay and a target network — the setup of Mnih et al. that the
+/// paper's RL mode instantiates for `au_config(..., QLearn, ...)`).
+///
+/// The runtime drives it through two calls per game-loop iteration:
+/// selectAction(state) during au_NN, and observe(reward, terminal, nextState)
+/// when the next au_NN arrives, matching the paper's "collect model
+/// inputs/outputs for a window of time, then invoke the training method".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_NN_QLEARNER_H
+#define AU_NN_QLEARNER_H
+
+#include "nn/Network.h"
+#include "nn/Optimizer.h"
+#include "support/Rng.h"
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+namespace au {
+namespace nn {
+
+/// One replay transition.
+struct Transition {
+  std::vector<float> State;
+  int Action;
+  float Reward;
+  std::vector<float> NextState;
+  bool Terminal;
+};
+
+/// Hyperparameters for the DQN agent.
+struct QConfig {
+  double Gamma = 0.97;          ///< Discount factor.
+  double LearningRate = 5e-4;   ///< Adam step size.
+  /// Final step size; when > 0 the rate anneals linearly to this value
+  /// over 2x the epsilon horizon, which damps late-training policy
+  /// collapse (DQN's classic instability).
+  double LearningRateEnd = 0.0;
+  double EpsilonStart = 1.0;    ///< Initial exploration rate.
+  double EpsilonEnd = 0.05;     ///< Final exploration rate.
+  int EpsilonDecaySteps = 4000; ///< Linear decay horizon in steps.
+  int ReplayCapacity = 20000;   ///< Max transitions kept.
+  int BatchSize = 32;           ///< Minibatch size per training step.
+  int WarmupSteps = 200;        ///< Steps before training starts.
+  int TargetSyncInterval = 250; ///< Steps between target-net syncs.
+  int TrainInterval = 1;        ///< Train every N observed steps.
+};
+
+/// A DQN agent over discrete actions. Owns an online and a target network of
+/// identical architecture (built via the factory passed to the constructor).
+class QLearner {
+public:
+  /// \p MakeNet builds a fresh network (called twice: online + target).
+  QLearner(std::function<Network()> MakeNet, int NumActions, QConfig Config,
+           uint64_t Seed);
+
+  /// Epsilon-greedy action for \p State; decays epsilon when \p Learning.
+  int selectAction(const std::vector<float> &State, bool Learning);
+
+  /// Greedy action (no exploration, no learning side effects).
+  int greedyAction(const std::vector<float> &State);
+
+  /// Records a completed transition and runs a training step when due.
+  void observe(const std::vector<float> &State, int Action, float Reward,
+               const std::vector<float> &NextState, bool Terminal);
+
+  /// Q-values for \p State from the online network.
+  std::vector<float> qValues(const std::vector<float> &State);
+
+  double epsilon() const { return Eps; }
+  long stepsObserved() const { return Steps; }
+  size_t replaySize() const { return Replay.size(); }
+  Network &onlineNetwork() { return Online; }
+
+  /// Serialized online-model size in bytes (Table 2 "Model Size").
+  size_t modelSizeBytes() { return Online.sizeInBytes(); }
+
+private:
+  void trainStep();
+
+  Network Online;
+  Network Target;
+  Adam Opt;
+  int NumActions;
+  QConfig Cfg;
+  Rng Rand;
+  std::deque<Transition> Replay;
+  double Eps;
+  long Steps = 0;
+};
+
+} // namespace nn
+} // namespace au
+
+#endif // AU_NN_QLEARNER_H

@@ -1,0 +1,154 @@
+//===- nn/Supervised.cpp - Supervised (AdamOpt) trainer ------------------===//
+
+#include "nn/Supervised.h"
+
+#include "nn/Loss.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace au;
+using namespace au::nn;
+
+SupervisedTrainer::SupervisedTrainer(Network N, double LearningRate)
+    : Net(std::move(N)), Opt(Net, LearningRate) {}
+
+void SupervisedTrainer::addSample(std::vector<float> X, std::vector<float> Y) {
+  assert(!X.empty() && !Y.empty() && "empty sample");
+  if (!Data.empty()) {
+    assert(X.size() == Data.front().X.size() && "inconsistent feature size");
+    assert(Y.size() == Data.front().Y.size() && "inconsistent target size");
+  }
+  Data.push_back({std::move(X), std::move(Y)});
+  Normalized = false;
+}
+
+void SupervisedTrainer::computeNormalization() {
+  size_t NX = Data.front().X.size(), NY = Data.front().Y.size();
+  XMean.assign(NX, 0.0f);
+  XStd.assign(NX, 0.0f);
+  YMean.assign(NY, 0.0f);
+  YStd.assign(NY, 0.0f);
+  double InvN = 1.0 / static_cast<double>(Data.size());
+  for (const Sample &S : Data) {
+    for (size_t I = 0; I != NX; ++I)
+      XMean[I] += static_cast<float>(S.X[I] * InvN);
+    for (size_t I = 0; I != NY; ++I)
+      YMean[I] += static_cast<float>(S.Y[I] * InvN);
+  }
+  for (const Sample &S : Data) {
+    for (size_t I = 0; I != NX; ++I)
+      XStd[I] += static_cast<float>((S.X[I] - XMean[I]) * (S.X[I] - XMean[I]) *
+                                    InvN);
+    for (size_t I = 0; I != NY; ++I)
+      YStd[I] += static_cast<float>((S.Y[I] - YMean[I]) * (S.Y[I] - YMean[I]) *
+                                    InvN);
+  }
+  for (float &V : XStd)
+    V = V > 1e-12f ? std::sqrt(V) : 1.0f;
+  for (float &V : YStd)
+    V = V > 1e-12f ? std::sqrt(V) : 1.0f;
+  Normalized = true;
+}
+
+Tensor SupervisedTrainer::normalizeX(const std::vector<float> &X) const {
+  assert(X.size() == XMean.size() && "feature size mismatch");
+  Tensor T(std::vector<int>{static_cast<int>(X.size())});
+  for (size_t I = 0, E = X.size(); I != E; ++I)
+    T[I] = (X[I] - XMean[I]) / XStd[I];
+  return T;
+}
+
+double SupervisedTrainer::train(int Epochs, int BatchSize, Rng &Rand) {
+  if (Data.empty())
+    return 0.0;
+  assert(Epochs > 0 && BatchSize > 0 && "invalid training schedule");
+  if (!Normalized)
+    computeNormalization();
+
+  std::vector<size_t> Order(Data.size());
+  for (size_t I = 0; I != Order.size(); ++I)
+    Order[I] = I;
+
+  double EpochLoss = 0.0;
+  for (int Ep = 0; Ep < Epochs; ++Ep) {
+    // Fisher-Yates shuffle with the deterministic RNG.
+    for (size_t I = Order.size(); I > 1; --I)
+      std::swap(Order[I - 1], Order[Rand.uniformInt(I)]);
+
+    EpochLoss = 0.0;
+    size_t InBatch = 0;
+    for (size_t Pos = 0; Pos != Order.size(); ++Pos) {
+      const Sample &S = Data[Order[Pos]];
+      Tensor X = normalizeX(S.X);
+      Tensor YT(std::vector<int>{static_cast<int>(S.Y.size())});
+      for (size_t I = 0; I != S.Y.size(); ++I)
+        YT[I] = (S.Y[I] - YMean[I]) / YStd[I];
+
+      Tensor Pred = Net.forward(X);
+      Tensor Grad;
+      EpochLoss += mseLoss(Pred, YT, Grad);
+      Net.backward(Grad);
+      ++InBatch;
+      if (InBatch == static_cast<size_t>(BatchSize) ||
+          Pos + 1 == Order.size()) {
+        Opt.step(1.0 / static_cast<double>(InBatch));
+        InBatch = 0;
+      }
+    }
+    EpochLoss /= static_cast<double>(Data.size());
+  }
+  return EpochLoss;
+}
+
+std::vector<float> SupervisedTrainer::predict(const std::vector<float> &X) {
+  assert(Normalized && "predict before train");
+  Tensor Out = Net.forward(normalizeX(X));
+  std::vector<float> Y(Out.size());
+  for (size_t I = 0, E = Out.size(); I != E; ++I)
+    Y[I] = Out[I] * YStd[I] + YMean[I];
+  return Y;
+}
+
+void SupervisedTrainer::getNormalization(std::vector<float> &XM,
+                                         std::vector<float> &XS,
+                                         std::vector<float> &YM,
+                                         std::vector<float> &YS) {
+  if (!Normalized) {
+    assert(!Data.empty() && "no data to compute normalization from");
+    computeNormalization();
+  }
+  XM = XMean;
+  XS = XStd;
+  YM = YMean;
+  YS = YStd;
+}
+
+void SupervisedTrainer::setNormalization(std::vector<float> XM,
+                                         std::vector<float> XS,
+                                         std::vector<float> YM,
+                                         std::vector<float> YS) {
+  assert(XM.size() == XS.size() && YM.size() == YS.size() &&
+         "normalization vector size mismatch");
+  XMean = std::move(XM);
+  XStd = std::move(XS);
+  YMean = std::move(YM);
+  YStd = std::move(YS);
+  Normalized = true;
+}
+
+double SupervisedTrainer::meanAbsError() {
+  if (Data.empty())
+    return 0.0;
+  double Total = 0.0;
+  for (const Sample &S : Data) {
+    std::vector<float> P = predict(S.X);
+    double Err = 0.0;
+    for (size_t I = 0; I != P.size(); ++I)
+      Err += std::abs(P[I] - S.Y[I]);
+    Total += Err / static_cast<double>(P.size());
+  }
+  return Total / static_cast<double>(Data.size());
+}

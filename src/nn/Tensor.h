@@ -1,0 +1,99 @@
+//===- nn/Tensor.h - Dense float tensor ------------------------*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal dense float tensor with a dynamic shape, the value type flowing
+/// through the neural-network substrate that stands in for TensorFlow. Only
+/// the operations the layers need are provided; everything is row-major and
+/// eager. Rank-1 tensors model the paper's "list of values" model inputs,
+/// rank-3 tensors (channels, height, width) model the raw-pixel inputs of
+/// the Raw baselines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_NN_TENSOR_H
+#define AU_NN_TENSOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace au {
+namespace nn {
+
+/// A row-major dense tensor of floats.
+class Tensor {
+public:
+  Tensor() = default;
+
+  /// Creates a tensor of the given \p Shape filled with \p Fill.
+  explicit Tensor(std::vector<int> Shape, float Fill = 0.0f);
+
+  /// Creates a rank-1 tensor from raw values.
+  static Tensor fromVector(const std::vector<float> &Values);
+
+  const std::vector<int> &shape() const { return Dims; }
+  size_t size() const { return Data.size(); }
+  bool empty() const { return Data.empty(); }
+  int rank() const { return static_cast<int>(Dims.size()); }
+
+  /// Extent of dimension \p D.
+  int dim(int D) const {
+    assert(D >= 0 && D < rank() && "dimension index out of range");
+    return Dims[D];
+  }
+
+  float *data() { return Data.data(); }
+  const float *data() const { return Data.data(); }
+  std::vector<float> &values() { return Data; }
+  const std::vector<float> &values() const { return Data; }
+
+  float &operator[](size_t I) {
+    assert(I < Data.size() && "flat index out of range");
+    return Data[I];
+  }
+  float operator[](size_t I) const {
+    assert(I < Data.size() && "flat index out of range");
+    return Data[I];
+  }
+
+  /// Rank-3 indexed access (channel, row, column).
+  float &at3(int C, int Y, int X) {
+    assert(rank() == 3 && "at3 requires a rank-3 tensor");
+    return Data[(static_cast<size_t>(C) * Dims[1] + Y) * Dims[2] + X];
+  }
+  float at3(int C, int Y, int X) const {
+    assert(rank() == 3 && "at3 requires a rank-3 tensor");
+    return Data[(static_cast<size_t>(C) * Dims[1] + Y) * Dims[2] + X];
+  }
+
+  /// Reinterprets the data with a new shape of identical element count.
+  Tensor reshaped(std::vector<int> NewShape) const;
+
+  /// Sets every element to \p V.
+  void fill(float V);
+
+  /// Element-wise accumulate: this += Other (shapes must match).
+  void add(const Tensor &Other);
+
+  /// Scales every element by \p S.
+  void scale(float S);
+
+  /// Index of the maximum element (ties resolve to the lowest index).
+  size_t argmax() const;
+
+  /// Largest element value; tensor must be nonempty.
+  float maxValue() const;
+
+private:
+  std::vector<int> Dims;
+  std::vector<float> Data;
+};
+
+} // namespace nn
+} // namespace au
+
+#endif // AU_NN_TENSOR_H

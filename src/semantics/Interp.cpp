@@ -1,0 +1,210 @@
+//===- semantics/Interp.cpp - Small-step interpreter for Fig. 8 ----------===//
+
+#include "semantics/Interp.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace au;
+using namespace au::semantics;
+
+//===----------------------------------------------------------------------===//
+// Statement extensions
+//===----------------------------------------------------------------------===//
+
+std::vector<float> au::semantics::buildModel(const ConfigStmt &C) {
+  // The parameter list encodes the output arity in slot 0 (the last layer
+  // width) followed by one deterministic parameter per configured neuron.
+  int OutArity = C.Layers.empty() ? 1 : C.Layers.back();
+  std::vector<float> Params;
+  Params.push_back(static_cast<float>(OutArity));
+  int Total = 0;
+  for (int L : C.Layers)
+    Total += L;
+  if (Total == 0)
+    Total = 4;
+  unsigned Hash = 2166136261u;
+  for (char Ch : C.ModelName)
+    Hash = (Hash ^ static_cast<unsigned char>(Ch)) * 16777619u;
+  for (int I = 0; I < Total; ++I)
+    Params.push_back(
+        std::sin(0.1f * static_cast<float>(I) + (Hash % 97) * 0.01f));
+  return Params;
+}
+
+std::vector<float>
+au::semantics::runModel(const std::vector<float> &Params,
+                        const std::vector<float> &Inputs) {
+  assert(!Params.empty() && "running a model with no parameters");
+  int OutArity = static_cast<int>(Params.front());
+  assert(OutArity > 0 && "corrupt model parameter list");
+  size_t NP = Params.size() - 1;
+  std::vector<float> Out(static_cast<size_t>(OutArity), 0.0f);
+  for (int K = 0; K < OutArity; ++K) {
+    double Acc = 0.0;
+    for (size_t J = 0; J != Inputs.size(); ++J)
+      Acc += Params[1 + (J + K) % NP] * Inputs[J];
+    Out[K] = static_cast<float>(std::tanh(Acc));
+  }
+  return Out;
+}
+
+std::vector<float>
+au::semantics::gradient(const std::vector<float> &Params,
+                        const std::vector<float> &Outputs) {
+  // A deterministic pseudo-gradient: zero when no outputs have been
+  // produced yet (the first TRAIN step), nonzero otherwise. Slot 0 (the
+  // arity tag) never changes.
+  std::vector<float> Delta(Params.size(), 0.0f);
+  if (Outputs.empty())
+    return Delta;
+  for (size_t I = 1; I != Delta.size(); ++I)
+    Delta[I] = 0.001f * Outputs[(I - 1) % Outputs.size()];
+  return Delta;
+}
+
+//===----------------------------------------------------------------------===//
+// Rule application
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Reads sigma(size) as a non-negative integer; -1 when unreadable.
+int readSize(const ProgStore &Sigma, const std::string &SizeVar) {
+  auto It = Sigma.find(SizeVar);
+  if (It == Sigma.end() || It->second.empty())
+    return -1;
+  float V = It->second.front();
+  if (V < 0)
+    return -1;
+  return static_cast<int>(V);
+}
+
+bool stepAssign(Machine &M, const AssignStmt &S) {
+  M.Sigma[S.Var] = S.Value; // Rule ASSIGN.
+  return true;
+}
+
+bool stepConfig(Machine &M, const ConfigStmt &S) {
+  if (M.Theta.count(S.ModelName))
+    return true; // theta(mdName) already bound: theta' = theta.
+  if (M.Omega == Mode::TR) {
+    // CONFIG-TRAIN: build a fresh model.
+    M.Theta[S.ModelName] = buildModel(S);
+    return true;
+  }
+  // CONFIG-TEST: load from persistent storage; stuck when absent.
+  auto It = M.SavedModels.find(S.ModelName);
+  if (It == M.SavedModels.end())
+    return false;
+  M.Theta[S.ModelName] = It->second;
+  return true;
+}
+
+bool stepExtract(Machine &M, const ExtractStmt &S) {
+  int Size = readSize(M.Sigma, S.SizeVar);
+  if (Size < 0)
+    return false;
+  auto It = M.Sigma.find(S.Var);
+  if (It == M.Sigma.end() ||
+      It->second.size() < static_cast<size_t>(Size))
+    return false;
+  // EXTRACT: pi' = pi[extName -> concat(pi(extName), x[0..size-1])].
+  M.Pi.append(S.ExtName, std::vector<float>(It->second.begin(),
+                                            It->second.begin() + Size));
+  return true;
+}
+
+bool stepNN(Machine &M, const NNStmt &S) {
+  auto It = M.Theta.find(S.ModelName);
+  if (It == M.Theta.end())
+    return false; // Stuck: model never configured.
+  std::vector<float> Inputs = M.Pi.get(S.ExtName);
+
+  if (M.Omega == Mode::TR) {
+    // TRAIN: theta' = theta[md -> theta(md) - gradient(theta(md),
+    // pi(wbName))], then pi[wbName -> runModel(theta'(md), pi(extName))].
+    std::vector<float> Delta = gradient(It->second, M.Pi.get(S.WbName));
+    for (size_t I = 0; I != It->second.size(); ++I)
+      It->second[I] -= Delta[I];
+  }
+  // TEST runs the model without the update; TRAIN runs the updated model.
+  M.Pi.set(S.WbName, runModel(It->second, Inputs));
+  M.Pi.reset(S.ExtName); // extName -> bottom in both rules.
+  return true;
+}
+
+bool stepWriteBack(Machine &M, const WriteBackStmt &S) {
+  int Size = readSize(M.Sigma, S.SizeVar);
+  if (Size < 0)
+    return false;
+  const std::vector<float> &Vals = M.Pi.get(S.WbName);
+  if (Vals.size() < static_cast<size_t>(Size))
+    return false;
+  // WRITE-BACK: for all i in [0, sigma(size)): sigma[x[i] -> pi(wbName)[i]].
+  std::vector<float> &Dst = M.Sigma[S.Var];
+  if (Dst.size() < static_cast<size_t>(Size))
+    Dst.resize(static_cast<size_t>(Size), 0.0f);
+  for (int I = 0; I < Size; ++I)
+    Dst[I] = Vals[I];
+  return true;
+}
+
+bool stepSerialize(Machine &M, const SerializeStmt &S) {
+  // SERIALIZE: pi[strcat(t1, t2) -> concat(pi(t1), pi(t2))].
+  M.Pi.serialize({S.First, S.Second});
+  return true;
+}
+
+bool stepCheckpoint(Machine &M) {
+  // CHECKPOINT: mkSnapshot(<sigma, pi>). Theta is deliberately excluded.
+  M.Snapshot = std::make_pair(M.Sigma, M.Pi);
+  return true;
+}
+
+bool stepRestore(Machine &M) {
+  if (!M.Snapshot)
+    return false; // Stuck: rtSnapshot() without a snapshot.
+  // RESTORE: <sigma', pi'> := rtSnapshot(). Theta is untouched.
+  M.Sigma = M.Snapshot->first;
+  M.Pi = M.Snapshot->second;
+  return true;
+}
+
+} // namespace
+
+bool au::semantics::step(Machine &M, const Stmt &S) {
+  return std::visit(
+      [&M](const auto &Node) -> bool {
+        using T = std::decay_t<decltype(Node)>;
+        if constexpr (std::is_same_v<T, AssignStmt>)
+          return stepAssign(M, Node);
+        else if constexpr (std::is_same_v<T, ConfigStmt>)
+          return stepConfig(M, Node);
+        else if constexpr (std::is_same_v<T, ExtractStmt>)
+          return stepExtract(M, Node);
+        else if constexpr (std::is_same_v<T, NNStmt>)
+          return stepNN(M, Node);
+        else if constexpr (std::is_same_v<T, WriteBackStmt>)
+          return stepWriteBack(M, Node);
+        else if constexpr (std::is_same_v<T, SerializeStmt>)
+          return stepSerialize(M, Node);
+        else if constexpr (std::is_same_v<T, CheckpointStmt>)
+          return stepCheckpoint(M);
+        else if constexpr (std::is_same_v<T, RestoreStmt>)
+          return stepRestore(M);
+        else
+          return true; // SkipStmt.
+      },
+      S);
+}
+
+size_t au::semantics::run(Machine &M, const Program &P) {
+  size_t Executed = 0;
+  for (const Stmt &S : P) {
+    if (!step(M, S))
+      break;
+    ++Executed;
+  }
+  return Executed;
+}

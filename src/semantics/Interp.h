@@ -1,0 +1,92 @@
+//===- semantics/Interp.h - Small-step interpreter for Fig. 8 --*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An executable form of the paper's operational semantics. The machine
+/// configuration is <sigma, pi, theta, omega, s>:
+///
+///   sigma  ProgStore: Var -> Value list (arrays of floats)
+///   pi     DBStore:   String -> Value list (au::DatabaseStore)
+///   theta  Model:     String -> Parm list
+///   omega  Mode:      TR | TS
+///
+/// Models are abstract here, exactly as in the figure: buildModel derives a
+/// deterministic parameter list from the configuration, gradient produces a
+/// deterministic parameter delta from the current output, and runModel maps
+/// (parameters, inputs) to outputs by a deterministic folding function. That
+/// abstraction is the point — the rules constrain *store plumbing* (what is
+/// read, written, reset, snapshotted), not what the network computes, so any
+/// deterministic statement extension lets every rule be tested precisely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_SEMANTICS_INTERP_H
+#define AU_SEMANTICS_INTERP_H
+
+#include "core/DatabaseStore.h"
+#include "semantics/Ast.h"
+
+#include <map>
+#include <optional>
+
+namespace au {
+namespace semantics {
+
+/// The program store sigma.
+using ProgStore = std::map<std::string, std::vector<float>>;
+
+/// The abstract model store theta.
+using ModelStore = std::map<std::string, std::vector<float>>;
+
+/// A machine configuration <sigma, pi, theta, omega>.
+struct Machine {
+  ProgStore Sigma;
+  DatabaseStore Pi;
+  ModelStore Theta;
+  Mode Omega = Mode::TR;
+
+  /// The <sigma', pi'> snapshot taken by CHECKPOINT.
+  std::optional<std::pair<ProgStore, DatabaseStore>> Snapshot;
+
+  /// "Persistent storage" for CONFIG-TEST's loadModel: model parameters
+  /// saved by a previous training execution.
+  ModelStore SavedModels;
+};
+
+//===----------------------------------------------------------------------===//
+// Statement extensions (Fig. 8 "Stmt s ::= ... | runModel | gradient | ...")
+//===----------------------------------------------------------------------===//
+
+/// Deterministic parameter list for a fresh model.
+std::vector<float> buildModel(const ConfigStmt &C);
+
+/// Deterministic model evaluation: output list from parameters and inputs.
+/// The output arity equals the last configured layer width (or 1).
+std::vector<float> runModel(const std::vector<float> &Params,
+                            const std::vector<float> &Inputs);
+
+/// Deterministic pseudo-gradient of the parameters given the last outputs.
+std::vector<float> gradient(const std::vector<float> &Params,
+                            const std::vector<float> &Outputs);
+
+//===----------------------------------------------------------------------===//
+// The interpreter
+//===----------------------------------------------------------------------===//
+
+/// Applies the single rule matching \p S to \p M. Returns false (leaving the
+/// machine unchanged) when the statement is stuck — e.g. au_NN on an
+/// unconfigured model or RESTORE without a checkpoint — so tests can check
+/// both progress and stuckness.
+bool step(Machine &M, const Stmt &S);
+
+/// Runs a whole program; returns the number of statements executed before
+/// completion or the first stuck statement.
+size_t run(Machine &M, const Program &P);
+
+} // namespace semantics
+} // namespace au
+
+#endif // AU_SEMANTICS_INTERP_H

@@ -1,0 +1,149 @@
+//===- support/Image.cpp - Grayscale image container and filters ---------===//
+
+#include "support/Image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+using namespace au;
+
+float Image::atClamped(int X, int Y) const {
+  if (empty())
+    return 0.0f;
+  X = std::clamp(X, 0, W - 1);
+  Y = std::clamp(Y, 0, H - 1);
+  return Pixels[static_cast<size_t>(Y) * W + X];
+}
+
+/// Builds a normalized 1-D Gaussian kernel with radius ceil(3*sigma).
+static std::vector<float> gaussianKernel(double Sigma) {
+  int Radius = static_cast<int>(std::ceil(3.0 * Sigma));
+  std::vector<float> Kernel(2 * Radius + 1);
+  double Sum = 0.0;
+  for (int I = -Radius; I <= Radius; ++I) {
+    double V = std::exp(-(I * I) / (2.0 * Sigma * Sigma));
+    Kernel[I + Radius] = static_cast<float>(V);
+    Sum += V;
+  }
+  for (float &K : Kernel)
+    K = static_cast<float>(K / Sum);
+  return Kernel;
+}
+
+Image au::gaussianSmooth(const Image &In, double Sigma) {
+  if (Sigma <= 0.0 || In.empty())
+    return In;
+  std::vector<float> Kernel = gaussianKernel(Sigma);
+  int Radius = static_cast<int>(Kernel.size() / 2);
+  Image Tmp(In.width(), In.height());
+  // Horizontal pass.
+  for (int Y = 0; Y < In.height(); ++Y)
+    for (int X = 0; X < In.width(); ++X) {
+      float Acc = 0.0f;
+      for (int K = -Radius; K <= Radius; ++K)
+        Acc += Kernel[K + Radius] * In.atClamped(X + K, Y);
+      Tmp.at(X, Y) = Acc;
+    }
+  // Vertical pass.
+  Image Out(In.width(), In.height());
+  for (int Y = 0; Y < In.height(); ++Y)
+    for (int X = 0; X < In.width(); ++X) {
+      float Acc = 0.0f;
+      for (int K = -Radius; K <= Radius; ++K)
+        Acc += Kernel[K + Radius] * Tmp.atClamped(X, Y + K);
+      Out.at(X, Y) = Acc;
+    }
+  return Out;
+}
+
+void au::sobel(const Image &In, Image &Gx, Image &Gy) {
+  Gx = Image(In.width(), In.height());
+  Gy = Image(In.width(), In.height());
+  static const int Kx[3][3] = {{-1, 0, 1}, {-2, 0, 2}, {-1, 0, 1}};
+  static const int Ky[3][3] = {{-1, -2, -1}, {0, 0, 0}, {1, 2, 1}};
+  for (int Y = 0; Y < In.height(); ++Y)
+    for (int X = 0; X < In.width(); ++X) {
+      float Sx = 0.0f, Sy = 0.0f;
+      for (int J = -1; J <= 1; ++J)
+        for (int I = -1; I <= 1; ++I) {
+          float P = In.atClamped(X + I, Y + J);
+          Sx += Kx[J + 1][I + 1] * P;
+          Sy += Ky[J + 1][I + 1] * P;
+        }
+      Gx.at(X, Y) = Sx;
+      Gy.at(X, Y) = Sy;
+    }
+}
+
+Image au::gradientMagnitude(const Image &Gx, const Image &Gy) {
+  assert(Gx.width() == Gy.width() && Gx.height() == Gy.height() &&
+         "gradient component size mismatch");
+  Image Out(Gx.width(), Gx.height());
+  for (int Y = 0; Y < Gx.height(); ++Y)
+    for (int X = 0; X < Gx.width(); ++X)
+      Out.at(X, Y) = std::sqrt(Gx.at(X, Y) * Gx.at(X, Y) +
+                               Gy.at(X, Y) * Gy.at(X, Y));
+  return Out;
+}
+
+Image au::resize(const Image &In, int NewW, int NewH) {
+  assert(NewW > 0 && NewH > 0 && "resize to empty image");
+  if (In.empty())
+    return Image(NewW, NewH);
+  Image Out(NewW, NewH);
+  double Sx = static_cast<double>(In.width()) / NewW;
+  double Sy = static_cast<double>(In.height()) / NewH;
+  for (int Y = 0; Y < NewH; ++Y)
+    for (int X = 0; X < NewW; ++X) {
+      double Fx = (X + 0.5) * Sx - 0.5;
+      double Fy = (Y + 0.5) * Sy - 0.5;
+      int X0 = static_cast<int>(std::floor(Fx));
+      int Y0 = static_cast<int>(std::floor(Fy));
+      double Ax = Fx - X0, Ay = Fy - Y0;
+      float V00 = In.atClamped(X0, Y0), V10 = In.atClamped(X0 + 1, Y0);
+      float V01 = In.atClamped(X0, Y0 + 1), V11 = In.atClamped(X0 + 1, Y0 + 1);
+      double Top = V00 + Ax * (V10 - V00);
+      double Bot = V01 + Ax * (V11 - V01);
+      Out.at(X, Y) = static_cast<float>(Top + Ay * (Bot - Top));
+    }
+  return Out;
+}
+
+bool au::writePgm(const Image &Img, const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  std::fprintf(F, "P5\n%d %d\n255\n", Img.width(), Img.height());
+  for (float P : Img.data()) {
+    unsigned char Byte = static_cast<unsigned char>(
+        std::clamp(P, 0.0f, 1.0f) * 255.0f + 0.5f);
+    std::fputc(Byte, F);
+  }
+  std::fclose(F);
+  return true;
+}
+
+Image au::readPgm(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Image();
+  int W = 0, H = 0, MaxV = 0;
+  if (std::fscanf(F, "P5 %d %d %d", &W, &H, &MaxV) != 3 || W <= 0 || H <= 0 ||
+      MaxV != 255) {
+    std::fclose(F);
+    return Image();
+  }
+  std::fgetc(F); // Consume the single whitespace after the header.
+  Image Img(W, H);
+  for (float &P : Img.data()) {
+    int C = std::fgetc(F);
+    if (C == EOF) {
+      std::fclose(F);
+      return Image();
+    }
+    P = static_cast<float>(C) / 255.0f;
+  }
+  std::fclose(F);
+  return Img;
+}

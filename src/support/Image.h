@@ -1,0 +1,88 @@
+//===- support/Image.h - Grayscale image container and filters -*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal grayscale floating-point image with the filtering operations the
+/// SL benchmark applications need (Canny / Rothwell edge detection): Gaussian
+/// smoothing, Sobel gradients, bilinear downsampling, and PGM round-tripping
+/// for inspection. Pixel values are in [0, 1].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_SUPPORT_IMAGE_H
+#define AU_SUPPORT_IMAGE_H
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace au {
+
+/// A row-major grayscale image of float pixels in [0, 1].
+class Image {
+public:
+  Image() = default;
+  Image(int Width, int Height, float Fill = 0.0f)
+      : W(Width), H(Height),
+        Pixels(static_cast<size_t>(Width) * Height, Fill) {
+    assert(Width >= 0 && Height >= 0 && "negative image dimensions");
+  }
+
+  int width() const { return W; }
+  int height() const { return H; }
+  size_t size() const { return Pixels.size(); }
+  bool empty() const { return Pixels.empty(); }
+
+  float &at(int X, int Y) {
+    assert(inBounds(X, Y) && "pixel access out of bounds");
+    return Pixels[static_cast<size_t>(Y) * W + X];
+  }
+  float at(int X, int Y) const {
+    assert(inBounds(X, Y) && "pixel access out of bounds");
+    return Pixels[static_cast<size_t>(Y) * W + X];
+  }
+
+  /// Reads a pixel, clamping coordinates to the border (replicate padding).
+  float atClamped(int X, int Y) const;
+
+  bool inBounds(int X, int Y) const {
+    return X >= 0 && X < W && Y >= 0 && Y < H;
+  }
+
+  const std::vector<float> &data() const { return Pixels; }
+  std::vector<float> &data() { return Pixels; }
+
+private:
+  int W = 0;
+  int H = 0;
+  std::vector<float> Pixels;
+};
+
+/// Convolves with a Gaussian of the given \p Sigma (separable, replicate
+/// border). Sigma <= 0 returns the input unchanged.
+Image gaussianSmooth(const Image &In, double Sigma);
+
+/// Horizontal and vertical Sobel derivatives.
+void sobel(const Image &In, Image &Gx, Image &Gy);
+
+/// Gradient magnitude sqrt(Gx^2 + Gy^2), not normalized.
+Image gradientMagnitude(const Image &Gx, const Image &Gy);
+
+/// Bilinear resample to NewW x NewH (used to produce the small "raw pixel"
+/// model inputs of the Raw baselines).
+Image resize(const Image &In, int NewW, int NewH);
+
+/// Writes an 8-bit binary PGM; returns false on I/O failure.
+bool writePgm(const Image &Img, const std::string &Path);
+
+/// Reads an 8-bit binary PGM written by writePgm; returns an empty image on
+/// failure.
+Image readPgm(const std::string &Path);
+
+} // namespace au
+
+#endif // AU_SUPPORT_IMAGE_H

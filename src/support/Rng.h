@@ -1,0 +1,86 @@
+//===- support/Rng.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic pseudo-random generator used everywhere in the
+/// repository so that experiments and tests are exactly reproducible across
+/// runs and machines. The core is SplitMix64, which has excellent statistical
+/// quality for non-cryptographic simulation workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_SUPPORT_RNG_H
+#define AU_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace au {
+
+/// Deterministic SplitMix64-based random number generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns a double uniformly distributed in [Lo, Hi).
+  double uniform(double Lo, double Hi) {
+    assert(Lo <= Hi && "empty uniform range");
+    return Lo + (Hi - Lo) * uniform();
+  }
+
+  /// Returns an integer uniformly distributed in [0, N). \p N must be > 0.
+  uint64_t uniformInt(uint64_t N) {
+    assert(N > 0 && "uniformInt over empty range");
+    return next() % N;
+  }
+
+  /// Returns an integer uniformly distributed in [Lo, Hi] inclusive.
+  int64_t uniformInt(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty integer range");
+    return Lo + static_cast<int64_t>(uniformInt(
+                    static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns a sample from the standard normal distribution (Box-Muller).
+  double normal() {
+    // Draw until U1 is nonzero so log() is finite.
+    double U1 = uniform();
+    while (U1 == 0.0)
+      U1 = uniform();
+    double U2 = uniform();
+    return std::sqrt(-2.0 * std::log(U1)) * std::cos(6.283185307179586 * U2);
+  }
+
+  /// Returns a sample from N(Mean, Stddev^2).
+  double normal(double Mean, double Stddev) {
+    return Mean + Stddev * normal();
+  }
+
+  /// Returns true with probability \p P.
+  bool chance(double P) { return uniform() < P; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace au
+
+#endif // AU_SUPPORT_RNG_H

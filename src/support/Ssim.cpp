@@ -1,0 +1,84 @@
+//===- support/Ssim.cpp - Structural similarity image metric -------------===//
+
+#include "support/Ssim.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace au;
+
+double au::ssim(const Image &A, const Image &B) {
+  assert(A.width() == B.width() && A.height() == B.height() &&
+         "SSIM inputs must have equal size");
+  assert(!A.empty() && "SSIM of empty images");
+  // Standard constants for dynamic range L = 1.
+  const double C1 = 0.01 * 0.01;
+  const double C2 = 0.03 * 0.03;
+  const int Win = 8;
+  const int StepX = std::max(1, std::min(Win, A.width()));
+  const int StepY = std::max(1, std::min(Win, A.height()));
+
+  double Total = 0.0;
+  int Count = 0;
+  for (int Y0 = 0; Y0 + StepY <= A.height(); Y0 += StepY)
+    for (int X0 = 0; X0 + StepX <= A.width(); X0 += StepX) {
+      double MuA = 0.0, MuB = 0.0;
+      const int N = StepX * StepY;
+      for (int Y = Y0; Y < Y0 + StepY; ++Y)
+        for (int X = X0; X < X0 + StepX; ++X) {
+          MuA += A.at(X, Y);
+          MuB += B.at(X, Y);
+        }
+      MuA /= N;
+      MuB /= N;
+      double VarA = 0.0, VarB = 0.0, Cov = 0.0;
+      for (int Y = Y0; Y < Y0 + StepY; ++Y)
+        for (int X = X0; X < X0 + StepX; ++X) {
+          double Da = A.at(X, Y) - MuA;
+          double Db = B.at(X, Y) - MuB;
+          VarA += Da * Da;
+          VarB += Db * Db;
+          Cov += Da * Db;
+        }
+      VarA /= N;
+      VarB /= N;
+      Cov /= N;
+      double Num = (2 * MuA * MuB + C1) * (2 * Cov + C2);
+      double Den = (MuA * MuA + MuB * MuB + C1) * (VarA + VarB + C2);
+      Total += Num / Den;
+      ++Count;
+    }
+  assert(Count > 0 && "image smaller than one SSIM window");
+  return Total / Count;
+}
+
+/// Returns true when the ground truth contains an edge pixel within
+/// \p Radius of (X, Y).
+static bool nearEdge(const Image &Truth, int X, int Y, int Radius) {
+  for (int J = -Radius; J <= Radius; ++J)
+    for (int I = -Radius; I <= Radius; ++I)
+      if (Truth.inBounds(X + I, Y + J) && Truth.at(X + I, Y + J) > 0.5f)
+        return true;
+  return false;
+}
+
+double au::edgeF1(const Image &Pred, const Image &Truth, int Radius) {
+  assert(Pred.width() == Truth.width() && Pred.height() == Truth.height() &&
+         "edgeF1 inputs must have equal size");
+  int Tp = 0, Fp = 0, Fn = 0;
+  for (int Y = 0; Y < Pred.height(); ++Y)
+    for (int X = 0; X < Pred.width(); ++X) {
+      bool P = Pred.at(X, Y) > 0.5f;
+      if (P && nearEdge(Truth, X, Y, Radius))
+        ++Tp;
+      else if (P)
+        ++Fp;
+      else if (Truth.at(X, Y) > 0.5f && !nearEdge(Pred, X, Y, Radius))
+        ++Fn;
+    }
+  if (Tp == 0)
+    return 0.0;
+  double Precision = static_cast<double>(Tp) / (Tp + Fp);
+  double Recall = static_cast<double>(Tp) / (Tp + Fn);
+  return 2.0 * Precision * Recall / (Precision + Recall);
+}

@@ -1,0 +1,32 @@
+//===- support/Ssim.h - Structural similarity image metric -----*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SSIM (Wang et al., 2004) between two grayscale images, the quality score
+/// the paper uses for the Canny case study (Section 6.3). Computed with the
+/// standard 8x8 sliding window over [0,1]-valued pixels; the result is the
+/// mean SSIM over all windows, in [-1, 1] (1 means identical).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_SUPPORT_SSIM_H
+#define AU_SUPPORT_SSIM_H
+
+#include "support/Image.h"
+
+namespace au {
+
+/// Mean SSIM between \p A and \p B; both must have identical nonzero size.
+double ssim(const Image &A, const Image &B);
+
+/// F1 score of a binary edge map against the ground truth, with tolerance
+/// \p Radius (a predicted edge within Radius pixels of a true edge counts as
+/// a hit). Used as a secondary edge-quality metric.
+double edgeF1(const Image &Pred, const Image &Truth, int Radius = 1);
+
+} // namespace au
+
+#endif // AU_SUPPORT_SSIM_H

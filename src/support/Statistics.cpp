@@ -1,0 +1,94 @@
+//===- support/Statistics.cpp - Numeric helpers over value traces --------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace au;
+
+double au::mean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double X : Xs)
+    Sum += X;
+  return Sum / static_cast<double>(Xs.size());
+}
+
+double au::variance(const std::vector<double> &Xs) {
+  if (Xs.size() < 2)
+    return 0.0;
+  double M = mean(Xs);
+  double Sum = 0.0;
+  for (double X : Xs)
+    Sum += (X - M) * (X - M);
+  return Sum / static_cast<double>(Xs.size());
+}
+
+double au::stddev(const std::vector<double> &Xs) {
+  return std::sqrt(variance(Xs));
+}
+
+std::vector<double> au::minMaxScale(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return {};
+  auto [MinIt, MaxIt] = std::minmax_element(Xs.begin(), Xs.end());
+  double Min = *MinIt, Max = *MaxIt;
+  std::vector<double> Out;
+  Out.reserve(Xs.size());
+  if (Max == Min) {
+    Out.assign(Xs.size(), 0.0);
+    return Out;
+  }
+  for (double X : Xs)
+    Out.push_back((X - Min) / (Max - Min));
+  return Out;
+}
+
+double au::euclideanDistance(const std::vector<double> &A,
+                             const std::vector<double> &B) {
+  size_t N = std::max(A.size(), B.size());
+  double Sum = 0.0;
+  for (size_t I = 0; I != N; ++I) {
+    double X = I < A.size() ? A[I] : 0.0;
+    double Y = I < B.size() ? B[I] : 0.0;
+    Sum += (X - Y) * (X - Y);
+  }
+  return std::sqrt(Sum);
+}
+
+double au::percentile(std::vector<double> Xs, double P) {
+  assert(P >= 0.0 && P <= 100.0 && "percentile out of range");
+  if (Xs.empty())
+    return 0.0;
+  std::sort(Xs.begin(), Xs.end());
+  if (Xs.size() == 1)
+    return Xs.front();
+  double Rank = P / 100.0 * static_cast<double>(Xs.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Xs.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Xs[Lo] + Frac * (Xs[Hi] - Xs[Lo]);
+}
+
+double au::pearson(const std::vector<double> &A, const std::vector<double> &B) {
+  if (A.size() != B.size() || A.size() < 2)
+    return 0.0;
+  double MA = mean(A), MB = mean(B);
+  double Num = 0.0, DA = 0.0, DB = 0.0;
+  for (size_t I = 0, E = A.size(); I != E; ++I) {
+    Num += (A[I] - MA) * (B[I] - MB);
+    DA += (A[I] - MA) * (A[I] - MA);
+    DB += (B[I] - MB) * (B[I] - MB);
+  }
+  if (DA == 0.0 || DB == 0.0)
+    return 0.0;
+  return Num / std::sqrt(DA * DB);
+}
+
+double au::clamp(double X, double Lo, double Hi) {
+  assert(Lo <= Hi && "invalid clamp range");
+  return X < Lo ? Lo : (X > Hi ? Hi : X);
+}

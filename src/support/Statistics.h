@@ -1,0 +1,54 @@
+//===- support/Statistics.h - Numeric helpers over value traces -*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small statistics helpers used by the feature-extraction algorithms of the
+/// paper (Section 4): min-max scaling of runtime value traces to [0,1],
+/// Euclidean distance between traces with zero-padding of the shorter one
+/// (the paper's footnote 2), and variance. Also general mean/percentile
+/// helpers used by the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_SUPPORT_STATISTICS_H
+#define AU_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace au {
+
+/// Arithmetic mean; returns 0 for an empty vector.
+double mean(const std::vector<double> &Xs);
+
+/// Population variance; returns 0 for vectors with fewer than two elements.
+double variance(const std::vector<double> &Xs);
+
+/// Standard deviation (sqrt of population variance).
+double stddev(const std::vector<double> &Xs);
+
+/// Scales values linearly into [0, 1] (sklearn minmax_scale, as cited by the
+/// paper). A constant trace scales to all zeros.
+std::vector<double> minMaxScale(const std::vector<double> &Xs);
+
+/// Euclidean distance between two traces; the shorter trace is padded with
+/// zeros, following footnote 2 of the paper.
+double euclideanDistance(const std::vector<double> &A,
+                         const std::vector<double> &B);
+
+/// Linear-interpolation percentile, \p P in [0, 100]. Sorts a copy.
+double percentile(std::vector<double> Xs, double P);
+
+/// Pearson correlation coefficient; returns 0 when either side is constant
+/// or the sizes differ.
+double pearson(const std::vector<double> &A, const std::vector<double> &B);
+
+/// Clamps \p X into [Lo, Hi].
+double clamp(double X, double Lo, double Hi);
+
+} // namespace au
+
+#endif // AU_SUPPORT_STATISTICS_H

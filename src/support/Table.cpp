@@ -1,0 +1,86 @@
+//===- support/Table.cpp - Aligned-column table printing -----------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace au;
+
+Table::Table(std::vector<std::string> Hdr) : Header(std::move(Hdr)) {
+  assert(!Header.empty() && "table must have at least one column");
+}
+
+void Table::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row arity mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+std::string Table::render() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t C = 0; C != Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto AppendRow = [&](std::string &Out, const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      Out += Row[C];
+      if (C + 1 != Row.size())
+        Out += std::string(Widths[C] - Row[C].size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+
+  std::string Out;
+  AppendRow(Out, Header);
+  size_t RuleLen = 0;
+  for (size_t C = 0; C != Widths.size(); ++C)
+    RuleLen += Widths[C] + (C + 1 != Widths.size() ? 2 : 0);
+  Out += std::string(RuleLen, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    AppendRow(Out, Row);
+  return Out;
+}
+
+std::string Table::renderCsv() const {
+  auto AppendRow = [](std::string &Out, const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      for (char Ch : Row[C])
+        Out += Ch == ',' ? ';' : Ch;
+      if (C + 1 != Row.size())
+        Out += ',';
+    }
+    Out += '\n';
+  };
+  std::string Out;
+  AppendRow(Out, Header);
+  for (const auto &Row : Rows)
+    AppendRow(Out, Row);
+  return Out;
+}
+
+void Table::print() const {
+  std::string S = render();
+  std::fwrite(S.data(), 1, S.size(), stdout);
+}
+
+std::string au::fmt(double Value, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, Value);
+  return Buf;
+}
+
+std::string au::fmt(long long Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%lld", Value);
+  return Buf;
+}
+
+std::string au::fmtPercent(double Fraction) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f%%", Fraction * 100.0);
+  return Buf;
+}

@@ -1,0 +1,57 @@
+//===- support/Table.h - Aligned-column table printing ---------*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small table formatter used by the benchmark harnesses to print rows in
+/// the same layout as the paper's tables, plus CSV emission so results can be
+/// post-processed. Cells are strings; helpers format numbers consistently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_SUPPORT_TABLE_H
+#define AU_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace au {
+
+/// Collects header + rows and prints them with aligned columns.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends one row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders the table with space-padded columns and a separator rule.
+  std::string render() const;
+
+  /// Renders as CSV (no escaping beyond comma replacement; cells are simple).
+  std::string renderCsv() const;
+
+  /// Prints render() to stdout.
+  void print() const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Formats a double with \p Digits fractional digits.
+std::string fmt(double Value, int Digits = 3);
+
+/// Formats an integer.
+std::string fmt(long long Value);
+
+/// Formats a percentage with one fractional digit, e.g. "84.0%".
+std::string fmtPercent(double Fraction);
+
+} // namespace au
+
+#endif // AU_SUPPORT_TABLE_H

@@ -1,0 +1,306 @@
+//===- tests/AnalysisTest.cpp - Unit tests for the analysis substrate ----===//
+
+#include "analysis/DependenceGraph.h"
+#include "analysis/FeatureExtraction.h"
+#include "analysis/Tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace au;
+using namespace au::analysis;
+
+//===----------------------------------------------------------------------===//
+// DependenceGraph
+//===----------------------------------------------------------------------===//
+
+TEST(DependenceGraphTest, NodeDeduplication) {
+  DependenceGraph G;
+  NodeId A = G.getOrAddNode("x");
+  NodeId B = G.getOrAddNode("x");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(G.numNodes(), 1);
+  EXPECT_EQ(G.lookup("x"), A);
+  EXPECT_EQ(G.lookup("missing"), -1);
+}
+
+TEST(DependenceGraphTest, DuplicateEdgesCollapse) {
+  DependenceGraph G;
+  G.addEdge("a", "b");
+  G.addEdge("a", "b");
+  EXPECT_EQ(G.successors(G.lookup("a")).size(), 1u);
+}
+
+TEST(DependenceGraphTest, TransitiveDependents) {
+  DependenceGraph G;
+  G.addEdge("a", "b");
+  G.addEdge("b", "c");
+  G.addEdge("c", "d");
+  std::vector<NodeId> Deps = G.dependents(G.lookup("a"));
+  EXPECT_EQ(Deps.size(), 3u);
+  // "a" itself is not its own dependent without a cycle.
+  EXPECT_EQ(std::count(Deps.begin(), Deps.end(), G.lookup("a")), 0);
+}
+
+TEST(DependenceGraphTest, SelfLoopMakesSelfDependent) {
+  DependenceGraph G;
+  G.addEdge("x", "x"); // Loop-carried dependence.
+  std::vector<NodeId> Deps = G.dependents(G.lookup("x"));
+  EXPECT_EQ(Deps.size(), 1u);
+  EXPECT_EQ(Deps.front(), G.lookup("x"));
+}
+
+TEST(DependenceGraphTest, ShareDependentAndCommon) {
+  DependenceGraph G;
+  G.addEdge("a", "c");
+  G.addEdge("b", "c");
+  G.addEdge("b", "d");
+  EXPECT_TRUE(G.shareDependent(G.lookup("a"), G.lookup("b")));
+  std::vector<NodeId> Common = G.commonDependents(G.lookup("a"), G.lookup("b"));
+  ASSERT_EQ(Common.size(), 1u);
+  EXPECT_EQ(Common.front(), G.lookup("c"));
+  // d depends only on b.
+  DependenceGraph G2;
+  G2.addEdge("p", "q");
+  G2.addEdge("r", "s");
+  EXPECT_FALSE(G2.shareDependent(G2.lookup("p"), G2.lookup("r")));
+}
+
+TEST(DependenceGraphTest, DependsOnIsTransitive) {
+  DependenceGraph G;
+  G.addEdge("a", "b");
+  G.addEdge("b", "c");
+  EXPECT_TRUE(G.dependsOn(G.lookup("c"), G.lookup("a")));
+  EXPECT_FALSE(G.dependsOn(G.lookup("a"), G.lookup("c")));
+}
+
+TEST(DependenceGraphTest, BfsDistanceFindsNearestTarget) {
+  DependenceGraph G;
+  G.addEdge("a", "b");
+  G.addEdge("b", "c");
+  G.addEdge("c", "d");
+  G.addEdge("a", "e"); // Short branch.
+  std::vector<NodeId> Targets = {G.lookup("d"), G.lookup("e")};
+  EXPECT_EQ(G.bfsDistanceToAny(G.lookup("a"), Targets), 1); // e at 1.
+  EXPECT_EQ(G.bfsDistanceToAny(G.lookup("b"), {G.lookup("d")}), 2);
+  EXPECT_EQ(G.bfsDistanceToAny(G.lookup("d"), {G.lookup("a")}), -1);
+}
+
+//===----------------------------------------------------------------------===//
+// Tracer
+//===----------------------------------------------------------------------===//
+
+TEST(TracerTest, RecordsGraphUsesAndTraces) {
+  Tracer T;
+  T.markInput("in");
+  T.recordDef("mid", {"in"}, "f");
+  T.recordDefValue("out", {"mid"}, "g", 3.5);
+  T.recordValue("out", 4.5);
+  T.recordUse("mid", "h");
+
+  EXPECT_EQ(T.inputs().size(), 1u);
+  EXPECT_TRUE(T.graph().dependsOn(T.graph().lookup("out"),
+                                  T.graph().lookup("in")));
+  EXPECT_EQ(T.useFunctions("mid").count("f"), 1u);
+  EXPECT_EQ(T.useFunctions("mid").count("h"), 1u);
+  ASSERT_EQ(T.trace("out").size(), 2u);
+  EXPECT_DOUBLE_EQ(T.trace("out")[1], 4.5);
+  EXPECT_TRUE(T.trace("never").empty());
+  EXPECT_EQ(T.traceBytes(), 2 * sizeof(double));
+}
+
+TEST(TracerTest, MarkInputIsIdempotent) {
+  Tracer T;
+  T.markInput("x");
+  T.markInput("x");
+  EXPECT_EQ(T.inputs().size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Algorithm 1 (supervised feature extraction)
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Builds the Fig. 9 Canny dependence chain:
+/// image -> sImg -> mag -> hist -> result, lo -> result, hi -> result,
+/// sigma -> sImg.
+Tracer makeFig9Tracer() {
+  Tracer T;
+  T.markInput("image");
+  T.recordDef("sImg", {"image", "sigma"}, "smooth");
+  T.recordDef("mag", {"sImg"}, "magnitude");
+  T.recordDef("hist", {"mag"}, "computeHist");
+  T.recordDef("result", {"hist", "lo", "hi"}, "hysteresis");
+  return T;
+}
+} // namespace
+
+TEST(Alg1Test, Fig9DistanceRanking) {
+  Tracer T = makeFig9Tracer();
+  SlFeatureMap F = extractSlFeatures(T, {"image"}, {"lo"});
+  ASSERT_TRUE(F.count("lo"));
+  const std::vector<RankedFeature> &Ranked = F["lo"];
+  // hist(1), mag(2), sImg(3), image(4) — the paper's exact ranking.
+  ASSERT_EQ(Ranked.size(), 4u);
+  EXPECT_EQ(Ranked[0].Var, "hist");
+  EXPECT_EQ(Ranked[0].Distance, 1);
+  EXPECT_EQ(Ranked[1].Var, "mag");
+  EXPECT_EQ(Ranked[1].Distance, 2);
+  EXPECT_EQ(Ranked[2].Var, "sImg");
+  EXPECT_EQ(Ranked[2].Distance, 3);
+  EXPECT_EQ(Ranked[3].Var, "image");
+  EXPECT_EQ(Ranked[3].Distance, 4);
+}
+
+TEST(Alg1Test, SigmaPredictedFromImage) {
+  Tracer T = makeFig9Tracer();
+  SlFeatureMap F = extractSlFeatures(T, {"image"}, {"sigma"});
+  const std::vector<RankedFeature> &Ranked = F["sigma"];
+  ASSERT_FALSE(Ranked.empty());
+  // image shares the dependent sImg with sigma at distance 1, as Fig. 11
+  // has SigmaNN consume IMG.
+  EXPECT_EQ(Ranked.front().Var, "image");
+  EXPECT_EQ(Ranked.front().Distance, 1);
+}
+
+TEST(Alg1Test, ExcludesCandidatesDependingOnTarget) {
+  Tracer T;
+  T.markInput("in");
+  T.recordDef("derived", {"in", "param"}, "f"); // derived depends on param.
+  T.recordDef("result", {"derived", "param"}, "g");
+  SlFeatureMap F = extractSlFeatures(T, {"in"}, {"param"});
+  for (const RankedFeature &RF : F["param"])
+    EXPECT_NE(RF.Var, "derived");
+}
+
+TEST(Alg1Test, UncorrelatedCandidatesDropped) {
+  Tracer T;
+  T.markInput("in");
+  T.recordDef("lonely", {"in"}, "f"); // No shared dependent with target.
+  T.recordDef("result", {"target"}, "g");
+  SlFeatureMap F = extractSlFeatures(T, {"in"}, {"target"});
+  EXPECT_TRUE(F["target"].empty());
+}
+
+TEST(Alg1Test, PickMinMedRaw) {
+  std::vector<RankedFeature> Ranked = {
+      {"a", 1}, {"b", 2}, {"c", 3}, {"d", 4}};
+  EXPECT_EQ(pickSlFeature(Ranked, SlPick::Min), "a");
+  EXPECT_EQ(pickSlFeature(Ranked, SlPick::Med), "c");
+  EXPECT_EQ(pickSlFeature(Ranked, SlPick::Raw), "d");
+  EXPECT_EQ(pickSlFeature({}, SlPick::Min), "");
+}
+
+//===----------------------------------------------------------------------===//
+// Algorithm 2 (reinforcement feature extraction)
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Builds a Fig. 10-style Mario tracer with an alias (mX ~ MnX) and a
+/// constant (lives).
+Tracer makeFig10Tracer() {
+  Tracer T;
+  T.recordDef("right", {"key"}, "handleInput");
+  T.recordDef("speed", {"right"}, "updatePlayer");
+  T.recordDef("PX", {"PX", "speed"}, "updatePlayer");
+  T.recordDef("MnX", {"MnX"}, "minionCollision");
+  T.recordDef("mX", {"MnX"}, "minionCollision");
+  T.recordDef("lives", {}, "gameLoop");
+  T.recordDef("collide", {"PX", "MnX", "mX", "lives"}, "minionCollision");
+  T.recordUse("collide", "gameLoop");
+  T.recordDef("reward", {"collide", "PX", "right"}, "gameLoop");
+  // Traces: PX ramps, MnX oscillates, mX mirrors MnX, lives constant.
+  for (int I = 0; I < 20; ++I) {
+    T.recordValue("PX", I * 0.05);
+    T.recordValue("MnX", (I % 5) * 0.2);
+    T.recordValue("mX", (I % 5) * 0.2);
+    T.recordValue("lives", 1.0);
+    T.recordValue("speed", (I % 3) * 0.4);
+    T.recordValue("collide", 0.0);
+    T.recordValue("right", I % 2);
+  }
+  return T;
+}
+} // namespace
+
+TEST(Alg2Test, PrunesRedundantAlias) {
+  Tracer T = makeFig10Tracer();
+  RlExtractionStats Stats;
+  std::vector<std::string> F =
+      extractRlFeatures(T, "right", /*Epsilon1=*/0.0, /*Epsilon2=*/0.001,
+                        &Stats);
+  // mX duplicates MnX and must be pruned (Fig. 10's example).
+  EXPECT_EQ(std::count(F.begin(), F.end(), "mX"), 0);
+  EXPECT_EQ(std::count(F.begin(), F.end(), "MnX"), 1);
+  EXPECT_GE(Stats.PrunedRedundant, 1);
+  bool FoundPair = false;
+  for (const auto &[Kept, Pruned] : Stats.RedundantPairs)
+    FoundPair = FoundPair || (Kept == "MnX" && Pruned == "mX");
+  EXPECT_TRUE(FoundPair);
+}
+
+TEST(Alg2Test, PrunesUnchangingVariables) {
+  Tracer T = makeFig10Tracer();
+  RlExtractionStats Stats;
+  std::vector<std::string> F =
+      extractRlFeatures(T, "right", 0.0, 0.001, &Stats);
+  EXPECT_EQ(std::count(F.begin(), F.end(), "lives"), 0);
+  EXPECT_GE(Stats.PrunedUnchanging, 1);
+  EXPECT_EQ(std::count(Stats.UnchangingVars.begin(),
+                       Stats.UnchangingVars.end(), "lives"),
+            1);
+}
+
+TEST(Alg2Test, KeepsInformativeVariables) {
+  Tracer T = makeFig10Tracer();
+  std::vector<std::string> F = extractRlFeatures(T, "right", 0.0, 0.001);
+  EXPECT_EQ(std::count(F.begin(), F.end(), "PX"), 1);
+}
+
+TEST(Alg2Test, TargetItselfNeverAFeature) {
+  Tracer T = makeFig10Tracer();
+  std::vector<std::string> F = extractRlFeatures(T, "right", 0.0, 0.001);
+  EXPECT_EQ(std::count(F.begin(), F.end(), "right"), 0);
+}
+
+TEST(Alg2Test, LargeEpsilon2PrunesEverything) {
+  Tracer T = makeFig10Tracer();
+  std::vector<std::string> F = extractRlFeatures(T, "right", 0.0, 1e9);
+  EXPECT_TRUE(F.empty());
+}
+
+TEST(Alg2Test, LargeEpsilon1CollapsesToOne) {
+  Tracer T = makeFig10Tracer();
+  RlExtractionStats Stats;
+  std::vector<std::string> F =
+      extractRlFeatures(T, "right", 1e9, 0.001, &Stats);
+  // The first candidate prunes all others as "redundant"; it survives if
+  // its own variance is large enough.
+  EXPECT_LE(F.size(), 1u);
+}
+
+TEST(Alg2Test, CombinedDeduplicatesAcrossTargets) {
+  Tracer T = makeFig10Tracer();
+  std::vector<std::string> F =
+      extractRlFeaturesCombined(T, {"right", "right"}, 0.0, 0.001);
+  std::vector<std::string> Sorted = F;
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_TRUE(std::adjacent_find(Sorted.begin(), Sorted.end()) ==
+              Sorted.end());
+}
+
+/// Epsilon-threshold sweep: larger epsilon2 never yields more features
+/// (monotone pruning property).
+class Alg2Epsilon2Sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(Alg2Epsilon2Sweep, PruningIsMonotoneInEpsilon2) {
+  Tracer T = makeFig10Tracer();
+  double Eps2 = GetParam();
+  size_t NarrowCount = extractRlFeatures(T, "right", 0.0, Eps2).size();
+  size_t WiderCount = extractRlFeatures(T, "right", 0.0, Eps2 * 10).size();
+  EXPECT_GE(NarrowCount, WiderCount);
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsilonGrid, Alg2Epsilon2Sweep,
+                         ::testing::Values(1e-6, 1e-4, 1e-2, 0.05, 0.2));

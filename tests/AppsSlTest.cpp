@@ -1,0 +1,286 @@
+//===- tests/AppsSlTest.cpp - Tests for the SL benchmark programs --------===//
+
+#include "apps/canny/Canny.h"
+#include "apps/phylip/Phylip.h"
+#include "apps/rothwell/Rothwell.h"
+#include "apps/sphinx/Sphinx.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace au;
+using namespace au::apps;
+using analysis::SlPick;
+
+//===----------------------------------------------------------------------===//
+// Canny
+//===----------------------------------------------------------------------===//
+
+TEST(CannyTest, DetectsEdgesOfCleanSquare) {
+  Image I(48, 48, 0.1f);
+  for (int Y = 12; Y < 36; ++Y)
+    for (int X = 12; X < 36; ++X)
+      I.at(X, Y) = 0.9f;
+  CannyParams P;
+  Image Edges = cannyDetect(I, P);
+  // Edge pixels near the square boundary, none deep inside.
+  int OnBoundary = 0, Inside = 0;
+  for (int X = 12; X < 36; ++X)
+    OnBoundary += Edges.at(X, 12) > 0.5f || Edges.at(X, 11) > 0.5f ||
+                  Edges.at(X, 13) > 0.5f;
+  // Strictly interior pixels, clear of both vertical boundaries.
+  for (int X = 17; X < 31; ++X)
+    Inside += Edges.at(X, 24) > 0.5f;
+  EXPECT_GT(OnBoundary, 12);
+  EXPECT_EQ(Inside, 0);
+}
+
+TEST(CannyTest, BlankImageHasNoEdges) {
+  Image I(32, 32, 0.5f);
+  Image Edges = cannyDetect(I, CannyParams());
+  for (float P : Edges.data())
+    EXPECT_FLOAT_EQ(P, 0.0f);
+}
+
+TEST(CannyTest, TraceHistogramNormalized) {
+  CannyScene S = makeCannyScene(1);
+  CannyTrace Trace;
+  cannyDetect(S.Input, CannyParams(), &Trace);
+  ASSERT_EQ(Trace.Hist.size(), static_cast<size_t>(CannyHistBins));
+  float Sum = 0.0f;
+  for (float H : Trace.Hist)
+    Sum += H;
+  EXPECT_NEAR(Sum, 1.0f, 1e-4);
+}
+
+TEST(CannyTest, HigherThresholdsYieldFewerEdges) {
+  CannyScene S = makeCannyScene(2);
+  CannyParams Loose{1.2, 0.3, 0.6};
+  CannyParams Strict{1.2, 0.9, 0.985};
+  auto CountEdges = [](const Image &E) {
+    int N = 0;
+    for (float P : E.data())
+      N += P > 0.5f;
+    return N;
+  };
+  EXPECT_GE(CountEdges(cannyDetect(S.Input, Loose)),
+            CountEdges(cannyDetect(S.Input, Strict)));
+}
+
+TEST(CannyTest, SceneGenerationDeterministic) {
+  CannyScene A = makeCannyScene(33);
+  CannyScene B = makeCannyScene(33);
+  EXPECT_EQ(A.Input.data(), B.Input.data());
+  EXPECT_EQ(A.Truth.data(), B.Truth.data());
+  CannyScene C = makeCannyScene(34);
+  EXPECT_NE(A.Input.data(), C.Input.data());
+}
+
+TEST(CannyTest, AutotuneBeatsDefaultsOnAverage) {
+  double DefaultTotal = 0.0, TunedTotal = 0.0;
+  for (uint64_t Seed = 50; Seed < 56; ++Seed) {
+    CannyScene S = makeCannyScene(Seed);
+    DefaultTotal += cannyScore(cannyDetect(S.Input, CannyParams()), S.Truth);
+    CannyParams Best = autotuneCanny(S);
+    TunedTotal += cannyScore(cannyDetect(S.Input, Best), S.Truth);
+  }
+  EXPECT_GT(TunedTotal, DefaultTotal);
+}
+
+TEST(CannyTest, ProfileReproducesFig9Ranking) {
+  analysis::Tracer T;
+  std::vector<std::string> Inputs, Targets;
+  cannyProfile(T, Inputs, Targets);
+  analysis::SlFeatureMap F = extractSlFeatures(T, Inputs, Targets);
+  ASSERT_TRUE(F.count("lo"));
+  const auto &Ranked = F["lo"];
+  ASSERT_GE(Ranked.size(), 4u);
+  EXPECT_EQ(Ranked.front().Var, "hist");
+  // image is ranked last among the chain variables.
+  auto ImagePos = std::find_if(Ranked.begin(), Ranked.end(),
+                               [](const analysis::RankedFeature &R) {
+                                 return R.Var == "image";
+                               });
+  ASSERT_NE(ImagePos, Ranked.end());
+  EXPECT_GT(ImagePos->Distance, Ranked.front().Distance);
+}
+
+//===----------------------------------------------------------------------===//
+// Rothwell
+//===----------------------------------------------------------------------===//
+
+TEST(RothwellTest, DetectsEdgesOfCleanSquare) {
+  Image I(48, 48, 0.1f);
+  for (int Y = 12; Y < 36; ++Y)
+    for (int X = 12; X < 36; ++X)
+      I.at(X, Y) = 0.9f;
+  Image Edges = rothwellDetect(I, RothwellParams());
+  int EdgeCount = 0;
+  for (float P : Edges.data())
+    EdgeCount += P > 0.5f;
+  EXPECT_GT(EdgeCount, 40);
+}
+
+TEST(RothwellTest, MinLenPrunesIsolatedSpecks) {
+  CannyScene S = makeCannyScene(60);
+  RothwellParams Short{1.2, 1.8, 1.0};
+  RothwellParams Long{1.2, 1.8, 12.0};
+  auto CountEdges = [](const Image &E) {
+    int N = 0;
+    for (float P : E.data())
+      N += P > 0.5f;
+    return N;
+  };
+  EXPECT_GE(CountEdges(rothwellDetect(S.Input, Short)),
+            CountEdges(rothwellDetect(S.Input, Long)));
+}
+
+TEST(RothwellTest, ProfileHasThreeTargets) {
+  analysis::Tracer T;
+  std::vector<std::string> Inputs, Targets;
+  rothwellProfile(T, Inputs, Targets);
+  EXPECT_EQ(Targets.size(), 3u);
+  analysis::SlFeatureMap F = extractSlFeatures(T, Inputs, Targets);
+  for (const std::string &Target : Targets)
+    EXPECT_FALSE(F[Target].empty()) << Target;
+}
+
+//===----------------------------------------------------------------------===//
+// Phylip
+//===----------------------------------------------------------------------===//
+
+TEST(PhylipTest, DatasetDeterministicAndWellFormed) {
+  PhylipDataset A = makePhylipDataset(5);
+  PhylipDataset B = makePhylipDataset(5);
+  EXPECT_EQ(A.Sequences, B.Sequences);
+  EXPECT_EQ(A.TrueParent, B.TrueParent);
+  ASSERT_EQ(A.Sequences.size(), static_cast<size_t>(PhylipDataset::NumTaxa));
+  for (const std::string &S : A.Sequences)
+    for (char C : S)
+      EXPECT_TRUE(C == 'A' || C == 'C' || C == 'G' || C == 'T' || C == '-');
+}
+
+TEST(PhylipTest, NeighborJoinRecoversTreeFromLowNoiseData) {
+  // With long sequences, low rate dispersion and no gaps, NJ with
+  // well-matched parameters should be close to the truth.
+  PhylipDataset D = makePhylipDataset(7, /*SeqLen=*/600);
+  PhylipParams P{1.0, 2.0, 0.5};
+  double Score = phylipScore(D, P);
+  EXPECT_LE(Score, 0.7);
+}
+
+TEST(PhylipTest, RobinsonFouldsIdenticalTreesIsZero) {
+  PhylipDataset D = makePhylipDataset(9);
+  EXPECT_DOUBLE_EQ(
+      robinsonFoulds(D.TrueParent, D.TrueParent, PhylipDataset::NumTaxa),
+      0.0);
+}
+
+TEST(PhylipTest, RobinsonFouldsDistinguishesTrees) {
+  PhylipDataset A = makePhylipDataset(10);
+  PhylipDataset B = makePhylipDataset(11);
+  EXPECT_GT(robinsonFoulds(A.TrueParent, B.TrueParent,
+                           PhylipDataset::NumTaxa),
+            0.0);
+}
+
+TEST(PhylipTest, DistanceMatrixSymmetricWithZeroDiagonal) {
+  PhylipDataset D = makePhylipDataset(12);
+  std::vector<double> M = phylipDistances(D, PhylipParams());
+  int N = PhylipDataset::NumTaxa;
+  for (int A = 0; A < N; ++A) {
+    EXPECT_DOUBLE_EQ(M[A * N + A], 0.0);
+    for (int B = 0; B < N; ++B)
+      EXPECT_DOUBLE_EQ(M[A * N + B], M[B * N + A]);
+  }
+}
+
+TEST(PhylipTest, AutotuneNotWorseThanDefaults) {
+  double DefaultTotal = 0.0, TunedTotal = 0.0;
+  for (uint64_t Seed = 20; Seed < 25; ++Seed) {
+    PhylipDataset D = makePhylipDataset(Seed);
+    DefaultTotal += phylipScore(D, PhylipParams());
+    TunedTotal += phylipScore(D, autotunePhylip(D));
+  }
+  EXPECT_LE(TunedTotal, DefaultTotal); // Lower is better.
+}
+
+TEST(PhylipTest, ProfileTargetsPresent) {
+  analysis::Tracer T;
+  std::vector<std::string> Inputs, Targets;
+  phylipProfile(T, Inputs, Targets);
+  EXPECT_EQ(Targets.size(), 3u);
+  analysis::SlFeatureMap F = extractSlFeatures(T, Inputs, Targets);
+  EXPECT_FALSE(F["alpha"].empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Sphinx
+//===----------------------------------------------------------------------===//
+
+TEST(SphinxTest, TemplatesAreDistinct) {
+  for (int A = 0; A < SphinxVocab; ++A)
+    for (int B = A + 1; B < SphinxVocab; ++B) {
+      auto TA = sphinxTemplate(A);
+      auto TB = sphinxTemplate(B);
+      double Diff = 0.0;
+      for (size_t I = 0; I != TA.size(); ++I)
+        Diff += std::abs(TA[I][0] - TB[I][0]) + std::abs(TA[I][1] - TB[I][1]);
+      EXPECT_GT(Diff, 0.5) << "templates " << A << " and " << B;
+    }
+}
+
+TEST(SphinxTest, RecognizesLowNoiseUtterances) {
+  // Generous beam, low-noise utterances: the recognizer should be right
+  // most of the time.
+  int Correct = 0, Total = 0;
+  for (uint64_t Seed = 0; Seed < 30; ++Seed) {
+    SphinxUtterance U = makeSphinxUtterance(Seed);
+    if (U.Noise > 0.12)
+      continue;
+    SphinxParams P{6.0, U.Noise * 0.5};
+    Correct += sphinxRecognize(U, P).Word == U.TrueWord;
+    ++Total;
+  }
+  ASSERT_GT(Total, 3);
+  EXPECT_GE(static_cast<double>(Correct) / Total, 0.7);
+}
+
+TEST(SphinxTest, WiderBeamExpandsMoreCells) {
+  SphinxUtterance U = makeSphinxUtterance(3);
+  SphinxResult Narrow = sphinxRecognize(U, {0.3, 0.1});
+  SphinxResult Wide = sphinxRecognize(U, {6.0, 0.1});
+  EXPECT_GT(Wide.CellsExpanded, Narrow.CellsExpanded);
+}
+
+TEST(SphinxTest, ScoreZeroWhenWrongWord) {
+  SphinxUtterance U = makeSphinxUtterance(4);
+  SphinxParams P{6.0, 0.0};
+  SphinxResult R = sphinxRecognize(U, P);
+  double S = sphinxScore(U, P);
+  if (R.Word == U.TrueWord)
+    EXPECT_GT(S, 0.0);
+  else
+    EXPECT_DOUBLE_EQ(S, 0.0);
+}
+
+TEST(SphinxTest, AutotuneNotWorseThanDefaults) {
+  double DefaultTotal = 0.0, TunedTotal = 0.0;
+  for (uint64_t Seed = 40; Seed < 48; ++Seed) {
+    SphinxUtterance U = makeSphinxUtterance(Seed);
+    DefaultTotal += sphinxScore(U, SphinxParams());
+    TunedTotal += sphinxScore(U, autotuneSphinx(U));
+  }
+  EXPECT_GE(TunedTotal, DefaultTotal);
+}
+
+TEST(SphinxTest, ProfileTargetsPresent) {
+  analysis::Tracer T;
+  std::vector<std::string> Inputs, Targets;
+  sphinxProfile(T, Inputs, Targets);
+  EXPECT_EQ(Targets.size(), 2u);
+  analysis::SlFeatureMap F = extractSlFeatures(T, Inputs, Targets);
+  EXPECT_FALSE(F["beam"].empty());
+  EXPECT_FALSE(F["noiseFloor"].empty());
+}

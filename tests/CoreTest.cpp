@@ -1,0 +1,458 @@
+//===- tests/CoreTest.cpp - Unit tests for the Autonomizer core ----------===//
+
+#include "core/Checkpoint.h"
+#include "core/DatabaseStore.h"
+#include "core/Model.h"
+#include "core/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace au;
+
+//===----------------------------------------------------------------------===//
+// DatabaseStore (pi)
+//===----------------------------------------------------------------------===//
+
+TEST(DatabaseStoreTest, AppendConcatenates) {
+  DatabaseStore Db;
+  Db.append("x", {1.0f, 2.0f});
+  Db.append("x", 3.0f);
+  ASSERT_EQ(Db.get("x").size(), 3u);
+  EXPECT_FLOAT_EQ(Db.get("x")[2], 3.0f);
+}
+
+TEST(DatabaseStoreTest, UnmappedNameIsBottom) {
+  DatabaseStore Db;
+  EXPECT_TRUE(Db.get("nothing").empty());
+  EXPECT_FALSE(Db.contains("nothing"));
+}
+
+TEST(DatabaseStoreTest, ResetMapsToBottom) {
+  DatabaseStore Db;
+  Db.append("x", 1.0f);
+  Db.reset("x");
+  EXPECT_FALSE(Db.contains("x"));
+  EXPECT_TRUE(Db.get("x").empty());
+}
+
+TEST(DatabaseStoreTest, SerializeConcatenatesListsAndNames) {
+  DatabaseStore Db;
+  Db.append("PX", {1.0f});
+  Db.append("PY", {2.0f, 3.0f});
+  std::string Name = Db.serialize({"PX", "PY"});
+  EXPECT_EQ(Name, "PXPY");
+  ASSERT_EQ(Db.get(Name).size(), 3u);
+  EXPECT_FLOAT_EQ(Db.get(Name)[0], 1.0f);
+  EXPECT_FLOAT_EQ(Db.get(Name)[2], 3.0f);
+}
+
+TEST(DatabaseStoreTest, LifetimeAppendedSurvivesReset) {
+  DatabaseStore Db;
+  Db.append("x", {1.0f, 2.0f});
+  Db.reset("x");
+  Db.append("x", 3.0f);
+  EXPECT_EQ(Db.lifetimeAppended(), 3u);
+  EXPECT_EQ(Db.totalValues(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// CheckpointManager
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct ToyState : Checkpointable {
+  std::vector<int> Values;
+  void saveState(std::vector<uint8_t> &Out) const override {
+    Out.assign(reinterpret_cast<const uint8_t *>(Values.data()),
+               reinterpret_cast<const uint8_t *>(Values.data()) +
+                   Values.size() * sizeof(int));
+  }
+  void loadState(const std::vector<uint8_t> &In) override {
+    Values.assign(reinterpret_cast<const int *>(In.data()),
+                  reinterpret_cast<const int *>(In.data() + In.size()));
+  }
+};
+} // namespace
+
+TEST(CheckpointTest, RestoresRegionsObjectsAndDb) {
+  CheckpointManager M;
+  double Pod = 1.5;
+  ToyState Obj;
+  Obj.Values = {1, 2, 3};
+  M.registerRegion(&Pod, sizeof(Pod));
+  M.registerObject(&Obj);
+  DatabaseStore Db;
+  Db.append("x", 7.0f);
+  M.checkpoint(Db);
+
+  Pod = 99.0;
+  Obj.Values = {9};
+  Db.append("x", 8.0f);
+  Db.append("y", 1.0f);
+  M.restore(Db);
+
+  EXPECT_DOUBLE_EQ(Pod, 1.5);
+  ASSERT_EQ(Obj.Values.size(), 3u);
+  EXPECT_EQ(Obj.Values[2], 3);
+  EXPECT_EQ(Db.get("x").size(), 1u);
+  EXPECT_FALSE(Db.contains("y"));
+}
+
+TEST(CheckpointTest, RestoreIsRepeatable) {
+  CheckpointManager M;
+  int V = 10;
+  M.registerRegion(&V, sizeof(V));
+  DatabaseStore Db;
+  M.checkpoint(Db);
+  for (int I = 0; I < 3; ++I) {
+    V = 50 + I;
+    M.restore(Db);
+    EXPECT_EQ(V, 10);
+  }
+}
+
+TEST(CheckpointTest, SnapshotBytesAccounting) {
+  CheckpointManager M;
+  double Pod = 0.0;
+  M.registerRegion(&Pod, sizeof(Pod));
+  DatabaseStore Db;
+  Db.append("x", {1.0f, 2.0f});
+  M.checkpoint(Db);
+  EXPECT_EQ(M.snapshotBytes(), sizeof(double) + 2 * sizeof(float));
+}
+
+//===----------------------------------------------------------------------===//
+// Models
+//===----------------------------------------------------------------------===//
+
+static ModelConfig slConfig(const char *Name) {
+  ModelConfig C;
+  C.Name = Name;
+  C.Algo = Algorithm::AdamOpt;
+  C.HiddenLayers = {16};
+  C.Seed = 5;
+  return C;
+}
+
+TEST(SlModelTest, BuildsLazilyAndTrains) {
+  SlModel M(slConfig("m"));
+  EXPECT_FALSE(M.isBuilt());
+  std::vector<WriteBackSpec> Outs = {{"A", 1}, {"B", 1}};
+  Rng R(7);
+  for (int I = 0; I < 80; ++I) {
+    float X = static_cast<float>(R.uniform(-1, 1));
+    M.addSample({X, X * X}, {2 * X, -X}, Outs);
+  }
+  EXPECT_TRUE(M.isBuilt());
+  EXPECT_EQ(M.inputSize(), 2);
+  EXPECT_EQ(M.numSamples(), 80u);
+  M.train(200, 16);
+  std::vector<float> P = M.predict({0.5f, 0.25f});
+  EXPECT_NEAR(P[0], 1.0f, 0.4f);
+  EXPECT_NEAR(P[1], -0.5f, 0.4f);
+}
+
+TEST(SlModelTest, SaveLoadRoundTrip) {
+  SlModel A(slConfig("m"));
+  std::vector<WriteBackSpec> Outs = {{"Y", 1}};
+  Rng R(9);
+  for (int I = 0; I < 50; ++I) {
+    float X = static_cast<float>(R.uniform(0, 1));
+    A.addSample({X}, {3 * X}, Outs);
+  }
+  A.train(40, 8);
+  std::string Path = "/tmp/au_test_sl.aumodel";
+  ASSERT_TRUE(A.save(Path));
+
+  SlModel B(slConfig("m"));
+  ASSERT_TRUE(B.load(Path));
+  EXPECT_TRUE(B.isBuilt());
+  EXPECT_EQ(B.outputs().size(), 1u);
+  EXPECT_EQ(B.outputs().front().Name, "Y");
+  EXPECT_FLOAT_EQ(A.predict({0.4f})[0], B.predict({0.4f})[0]);
+  std::remove(Path.c_str());
+}
+
+TEST(SlModelTest, LoadRejectsGarbage) {
+  std::string Path = "/tmp/au_test_garbage.aumodel";
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  std::fputs("not a model", F);
+  std::fclose(F);
+  SlModel M(slConfig("m"));
+  EXPECT_FALSE(M.load(Path));
+  std::remove(Path.c_str());
+}
+
+static ModelConfig rlConfig(const char *Name) {
+  ModelConfig C;
+  C.Name = Name;
+  C.Algo = Algorithm::QLearn;
+  C.HiddenLayers = {8};
+  C.Seed = 6;
+  return C;
+}
+
+TEST(RlModelTest, BuildsOnFirstStepAndActs) {
+  RlModel M(rlConfig("q"));
+  WriteBackSpec Out{"output", 3};
+  int A = M.step({0.1f, 0.2f}, 0.0f, false, Out, true);
+  EXPECT_GE(A, 0);
+  EXPECT_LT(A, 3);
+  EXPECT_TRUE(M.isBuilt());
+  EXPECT_EQ(M.inputSize(), 2);
+  EXPECT_EQ(M.outputs().front().Size, 3);
+}
+
+TEST(RlModelTest, DeploymentStepsDoNotDisturbChain) {
+  RlModel M(rlConfig("q"));
+  WriteBackSpec Out{"output", 2};
+  M.step({0.0f}, 0.0f, false, Out, true);
+  long StepsBefore = 0;
+  // Several deployment (Learning=false) steps must not feed the learner.
+  M.step({0.3f}, 0.0f, false, Out, false);
+  M.step({0.6f}, 0.0f, false, Out, false);
+  StepsBefore = M.learner()->stepsObserved();
+  // The next learning step observes exactly one more transition.
+  M.step({1.0f}, 1.0f, false, Out, true);
+  EXPECT_EQ(M.learner()->stepsObserved(), StepsBefore + 1);
+}
+
+TEST(RlModelTest, SaveLoadRoundTrip) {
+  RlModel A(rlConfig("q"));
+  WriteBackSpec Out{"output", 4};
+  Rng R(11);
+  for (int I = 0; I < 30; ++I)
+    A.step({static_cast<float>(R.uniform())}, 0.1f, false, Out, true);
+  std::string Path = "/tmp/au_test_rl.aumodel";
+  ASSERT_TRUE(A.save(Path));
+
+  RlModel B(rlConfig("q"));
+  ASSERT_TRUE(B.load(Path));
+  std::vector<float> QA = A.qValues({0.5f});
+  std::vector<float> QB = B.qValues({0.5f});
+  ASSERT_EQ(QA.size(), QB.size());
+  for (size_t I = 0; I != QA.size(); ++I)
+    EXPECT_FLOAT_EQ(QA[I], QB[I]);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime primitives
+//===----------------------------------------------------------------------===//
+
+TEST(RuntimeTest, ExtractAppendsAndCounts) {
+  Runtime RT(Mode::TR);
+  float Vals[3] = {1, 2, 3};
+  RT.extract("X", 3, Vals);
+  RT.extract("X", 1.5f);
+  EXPECT_EQ(RT.db().get("X").size(), 4u);
+  EXPECT_EQ(RT.stats().NumExtract, 2u);
+  EXPECT_EQ(RT.stats().FloatsExtracted, 4u);
+  EXPECT_EQ(RT.stats().traceBytes(), 4 * sizeof(float));
+}
+
+TEST(RuntimeTest, ExtractDoubleConverts) {
+  Runtime RT(Mode::TR);
+  double Vals[2] = {1.25, -2.5};
+  RT.extract("D", 2, Vals);
+  EXPECT_FLOAT_EQ(RT.db().get("D")[1], -2.5f);
+}
+
+TEST(RuntimeTest, ConfigIsIdempotent) {
+  Runtime RT(Mode::TR);
+  ModelConfig C;
+  C.Name = "m";
+  C.HiddenLayers = {4};
+  Model *A = RT.config(C);
+  Model *B = RT.config(C);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(RT.stats().NumConfig, 2u);
+}
+
+TEST(RuntimeTest, SupervisedTrainPredictCycle) {
+  Runtime RT(Mode::TR);
+  ModelConfig C;
+  C.Name = "lin";
+  C.HiddenLayers = {16};
+  C.Seed = 21;
+  RT.config(C);
+
+  Rng R(22);
+  for (int I = 0; I < 120; ++I) {
+    float X = static_cast<float>(R.uniform(-1, 1));
+    RT.extract("F", X);
+    RT.nn("lin", "F", {{"OUT", 1}});
+    // In TR mode the program variable holds the desirable value.
+    float Desired = 4 * X + 1;
+    RT.writeBack("OUT", 1, &Desired);
+    // au_NN resets the extraction list each iteration.
+    EXPECT_TRUE(RT.db().get("F").empty());
+  }
+  RT.trainSupervised("lin", 60, 16);
+  RT.switchMode(Mode::TS);
+
+  float X = 0.5f;
+  RT.extract("F", X);
+  RT.nn("lin", "F", {{"OUT", 1}});
+  float Pred = 0.0f;
+  RT.writeBack("OUT", 1, &Pred);
+  EXPECT_NEAR(Pred, 3.0f, 0.6f);
+}
+
+TEST(RuntimeTest, MultiOutputLabelsAssembleInDeclaredOrder) {
+  Runtime RT(Mode::TR);
+  ModelConfig C;
+  C.Name = "multi";
+  C.HiddenLayers = {8};
+  RT.config(C);
+  for (int I = 0; I < 40; ++I) {
+    float X = static_cast<float>(I) / 40.0f;
+    RT.extract("F", X);
+    RT.nn("multi", "F", {{"A", 1}, {"B", 1}});
+    // Write back in the opposite order to the declaration.
+    float BV = -X;
+    RT.writeBack("B", 1, &BV);
+    float AV = X;
+    RT.writeBack("A", 1, &AV);
+  }
+  auto *M = static_cast<SlModel *>(RT.getModel("multi"));
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M->numSamples(), 40u);
+  RT.trainSupervised("multi", 50, 8);
+  RT.switchMode(Mode::TS);
+  RT.extract("F", 0.5f);
+  RT.nn("multi", "F", {{"A", 1}, {"B", 1}});
+  float AV = 0, BV = 0;
+  RT.writeBack("A", 1, &AV);
+  RT.writeBack("B", 1, &BV);
+  EXPECT_GT(AV, 0.0f);
+  EXPECT_LT(BV, 0.0f);
+}
+
+TEST(RuntimeTest, SerializeReturnsCombinedName) {
+  Runtime RT(Mode::TR);
+  RT.extract("PX", 1.0f);
+  RT.extract("PY", 2.0f);
+  std::string Name = RT.serialize({"PX", "PY"});
+  EXPECT_EQ(Name, "PXPY");
+  EXPECT_EQ(RT.db().get(Name).size(), 2u);
+}
+
+TEST(RuntimeTest, RlNnStepsAndWritesAction) {
+  Runtime RT(Mode::TR);
+  ModelConfig C;
+  C.Name = "agent";
+  C.Algo = Algorithm::QLearn;
+  C.HiddenLayers = {8};
+  RT.config(C);
+  for (int I = 0; I < 10; ++I) {
+    RT.extract("S", static_cast<float>(I) / 10.0f);
+    RT.nn("agent", "S", /*Reward=*/0.5f, /*Terminal=*/false,
+          {"output", 4});
+    int Action = -1;
+    RT.writeBack("output", 4, &Action);
+    EXPECT_GE(Action, 0);
+    EXPECT_LT(Action, 4);
+  }
+  Model *M = RT.getModel("agent");
+  ASSERT_TRUE(M);
+  EXPECT_TRUE(RlModel::classof(M));
+  EXPECT_TRUE(M->isBuilt());
+}
+
+TEST(RuntimeTest, CheckpointRestoreExcludesModels) {
+  Runtime RT(Mode::TR);
+  ModelConfig C;
+  C.Name = "agent";
+  C.Algo = Algorithm::QLearn;
+  C.HiddenLayers = {8};
+  RT.config(C);
+
+  double GameState = 1.0;
+  RT.checkpoints().registerRegion(&GameState, sizeof(GameState));
+  RT.extract("S", 0.1f);
+  RT.checkpoint();
+
+  // Mutate program state, pi, and train the model.
+  GameState = 42.0;
+  RT.extract("S", 0.2f);
+  for (int I = 0; I < 20; ++I) {
+    RT.extract("T", static_cast<float>(I));
+    RT.nn("agent", "T", 1.0f, false, {"output", 2});
+  }
+  auto *M = static_cast<RlModel *>(RT.getModel("agent"));
+  long Steps = M->learner()->stepsObserved();
+
+  RT.restore();
+  // sigma and pi roll back...
+  EXPECT_DOUBLE_EQ(GameState, 1.0);
+  EXPECT_EQ(RT.db().get("S").size(), 1u);
+  // ...but the model keeps its accumulated learning.
+  EXPECT_EQ(M->learner()->stepsObserved(), Steps);
+}
+
+TEST(RuntimeTest, TsModeLoadsSavedModel) {
+  std::string Dir = "/tmp";
+  {
+    Runtime RT(Mode::TR, Dir);
+    ModelConfig C;
+    C.Name = "persisted";
+    C.HiddenLayers = {8};
+    C.Seed = 77;
+    RT.config(C);
+    Rng R(78);
+    for (int I = 0; I < 60; ++I) {
+      float X = static_cast<float>(R.uniform(0, 1));
+      RT.extract("F", X);
+      RT.nn("persisted", "F", {{"Y", 1}});
+      float Label = 2 * X;
+      RT.writeBack("Y", 1, &Label);
+    }
+    RT.trainSupervised("persisted", 40, 16);
+    ASSERT_TRUE(RT.saveModel("persisted"));
+  }
+  {
+    Runtime RT(Mode::TS, Dir);
+    ModelConfig C;
+    C.Name = "persisted";
+    RT.config(C); // CONFIG-TEST loads from disk.
+    RT.extract("F", 0.5f);
+    RT.nn("persisted", "F", {{"Y", 1}});
+    float Pred = 0.0f;
+    RT.writeBack("Y", 1, &Pred);
+    EXPECT_NEAR(Pred, 1.0f, 0.5f);
+  }
+  std::remove("/tmp/persisted.aumodel");
+}
+
+TEST(RuntimeTest, ModelPathComposition) {
+  Runtime A(Mode::TR, "/models");
+  EXPECT_EQ(A.modelPath("m"), "/models/m.aumodel");
+  Runtime B(Mode::TR);
+  EXPECT_EQ(B.modelPath("m"), "m.aumodel");
+}
+
+TEST(RuntimeTest, StatsCountPrimitives) {
+  Runtime RT(Mode::TR);
+  ModelConfig C;
+  C.Name = "m";
+  C.HiddenLayers = {4};
+  RT.config(C);
+  RT.extract("X", 1.0f);
+  RT.serialize({"X"});
+  RT.nn("m", "X", {{"Y", 1}});
+  float V = 1.0f;
+  RT.writeBack("Y", 1, &V);
+  RT.checkpoint();
+  RT.restore();
+  const RuntimeStats &S = RT.stats();
+  EXPECT_EQ(S.NumConfig, 1u);
+  EXPECT_EQ(S.NumExtract, 1u);
+  EXPECT_EQ(S.NumSerialize, 1u);
+  EXPECT_EQ(S.NumNn, 1u);
+  EXPECT_EQ(S.NumWriteBack, 1u);
+  EXPECT_EQ(S.NumCheckpoint, 1u);
+  EXPECT_EQ(S.NumRestore, 1u);
+}
