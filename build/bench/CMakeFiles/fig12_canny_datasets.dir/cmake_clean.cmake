@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_canny_datasets.dir/fig12_canny_datasets.cpp.o"
+  "CMakeFiles/fig12_canny_datasets.dir/fig12_canny_datasets.cpp.o.d"
+  "fig12_canny_datasets"
+  "fig12_canny_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_canny_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

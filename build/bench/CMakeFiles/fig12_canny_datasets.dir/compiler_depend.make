@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_canny_datasets.
+# This may be replaced when dependencies are built.

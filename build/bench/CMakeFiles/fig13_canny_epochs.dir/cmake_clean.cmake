@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_canny_epochs.dir/fig13_canny_epochs.cpp.o"
+  "CMakeFiles/fig13_canny_epochs.dir/fig13_canny_epochs.cpp.o.d"
+  "fig13_canny_epochs"
+  "fig13_canny_epochs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_canny_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

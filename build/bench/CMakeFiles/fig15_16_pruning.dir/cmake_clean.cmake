@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_16_pruning.dir/fig15_16_pruning.cpp.o"
+  "CMakeFiles/fig15_16_pruning.dir/fig15_16_pruning.cpp.o.d"
+  "fig15_16_pruning"
+  "fig15_16_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_16_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_torcs.dir/fig17_torcs.cpp.o"
+  "CMakeFiles/fig17_torcs.dir/fig17_torcs.cpp.o.d"
+  "fig17_torcs"
+  "fig17_torcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_torcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selftest_coverage.dir/selftest_coverage.cpp.o"
+  "CMakeFiles/selftest_coverage.dir/selftest_coverage.cpp.o.d"
+  "selftest_coverage"
+  "selftest_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selftest_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

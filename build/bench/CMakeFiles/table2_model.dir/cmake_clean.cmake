@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_model.dir/table2_model.cpp.o"
+  "CMakeFiles/table2_model.dir/table2_model.cpp.o.d"
+  "table2_model"
+  "table2_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_rl.dir/table3_rl.cpp.o"
+  "CMakeFiles/table3_rl.dir/table3_rl.cpp.o.d"
+  "table3_rl"
+  "table3_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

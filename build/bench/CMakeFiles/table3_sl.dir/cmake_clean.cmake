@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_sl.dir/table3_sl.cpp.o"
+  "CMakeFiles/table3_sl.dir/table3_sl.cpp.o.d"
+  "table3_sl"
+  "table3_sl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_sl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

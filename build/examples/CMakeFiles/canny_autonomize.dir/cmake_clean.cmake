@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canny_autonomize.dir/canny_autonomize.cpp.o"
+  "CMakeFiles/canny_autonomize.dir/canny_autonomize.cpp.o.d"
+  "canny_autonomize"
+  "canny_autonomize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canny_autonomize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

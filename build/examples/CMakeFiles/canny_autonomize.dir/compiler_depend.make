@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for canny_autonomize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mario_autonomize.dir/mario_autonomize.cpp.o"
+  "CMakeFiles/mario_autonomize.dir/mario_autonomize.cpp.o.d"
+  "mario_autonomize"
+  "mario_autonomize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mario_autonomize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mario_selftest.dir/mario_selftest.cpp.o"
+  "CMakeFiles/mario_selftest.dir/mario_selftest.cpp.o.d"
+  "mario_selftest"
+  "mario_selftest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mario_selftest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mario_selftest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torcs_drive.dir/torcs_drive.cpp.o"
+  "CMakeFiles/torcs_drive.dir/torcs_drive.cpp.o.d"
+  "torcs_drive"
+  "torcs_drive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torcs_drive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

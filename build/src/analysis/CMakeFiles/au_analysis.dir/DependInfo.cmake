@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/DependenceGraph.cpp" "src/analysis/CMakeFiles/au_analysis.dir/DependenceGraph.cpp.o" "gcc" "src/analysis/CMakeFiles/au_analysis.dir/DependenceGraph.cpp.o.d"
+  "/root/repo/src/analysis/FeatureExtraction.cpp" "src/analysis/CMakeFiles/au_analysis.dir/FeatureExtraction.cpp.o" "gcc" "src/analysis/CMakeFiles/au_analysis.dir/FeatureExtraction.cpp.o.d"
+  "/root/repo/src/analysis/Tracer.cpp" "src/analysis/CMakeFiles/au_analysis.dir/Tracer.cpp.o" "gcc" "src/analysis/CMakeFiles/au_analysis.dir/Tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/au_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/au_analysis.dir/DependenceGraph.cpp.o"
+  "CMakeFiles/au_analysis.dir/DependenceGraph.cpp.o.d"
+  "CMakeFiles/au_analysis.dir/FeatureExtraction.cpp.o"
+  "CMakeFiles/au_analysis.dir/FeatureExtraction.cpp.o.d"
+  "CMakeFiles/au_analysis.dir/Tracer.cpp.o"
+  "CMakeFiles/au_analysis.dir/Tracer.cpp.o.d"
+  "libau_analysis.a"
+  "libau_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/au_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

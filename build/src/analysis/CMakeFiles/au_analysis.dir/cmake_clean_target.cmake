@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libau_analysis.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/arkanoid/Arkanoid.cpp" "src/apps/CMakeFiles/au_apps.dir/arkanoid/Arkanoid.cpp.o" "gcc" "src/apps/CMakeFiles/au_apps.dir/arkanoid/Arkanoid.cpp.o.d"
+  "/root/repo/src/apps/breakout/Breakout.cpp" "src/apps/CMakeFiles/au_apps.dir/breakout/Breakout.cpp.o" "gcc" "src/apps/CMakeFiles/au_apps.dir/breakout/Breakout.cpp.o.d"
+  "/root/repo/src/apps/canny/Canny.cpp" "src/apps/CMakeFiles/au_apps.dir/canny/Canny.cpp.o" "gcc" "src/apps/CMakeFiles/au_apps.dir/canny/Canny.cpp.o.d"
+  "/root/repo/src/apps/common/GameEnv.cpp" "src/apps/CMakeFiles/au_apps.dir/common/GameEnv.cpp.o" "gcc" "src/apps/CMakeFiles/au_apps.dir/common/GameEnv.cpp.o.d"
+  "/root/repo/src/apps/common/RlHarness.cpp" "src/apps/CMakeFiles/au_apps.dir/common/RlHarness.cpp.o" "gcc" "src/apps/CMakeFiles/au_apps.dir/common/RlHarness.cpp.o.d"
+  "/root/repo/src/apps/flappy/Flappy.cpp" "src/apps/CMakeFiles/au_apps.dir/flappy/Flappy.cpp.o" "gcc" "src/apps/CMakeFiles/au_apps.dir/flappy/Flappy.cpp.o.d"
+  "/root/repo/src/apps/mario/Mario.cpp" "src/apps/CMakeFiles/au_apps.dir/mario/Mario.cpp.o" "gcc" "src/apps/CMakeFiles/au_apps.dir/mario/Mario.cpp.o.d"
+  "/root/repo/src/apps/phylip/Phylip.cpp" "src/apps/CMakeFiles/au_apps.dir/phylip/Phylip.cpp.o" "gcc" "src/apps/CMakeFiles/au_apps.dir/phylip/Phylip.cpp.o.d"
+  "/root/repo/src/apps/rothwell/Rothwell.cpp" "src/apps/CMakeFiles/au_apps.dir/rothwell/Rothwell.cpp.o" "gcc" "src/apps/CMakeFiles/au_apps.dir/rothwell/Rothwell.cpp.o.d"
+  "/root/repo/src/apps/sphinx/Sphinx.cpp" "src/apps/CMakeFiles/au_apps.dir/sphinx/Sphinx.cpp.o" "gcc" "src/apps/CMakeFiles/au_apps.dir/sphinx/Sphinx.cpp.o.d"
+  "/root/repo/src/apps/torcs/Torcs.cpp" "src/apps/CMakeFiles/au_apps.dir/torcs/Torcs.cpp.o" "gcc" "src/apps/CMakeFiles/au_apps.dir/torcs/Torcs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/au_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/au_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/au_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/au_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/au_apps.dir/arkanoid/Arkanoid.cpp.o"
+  "CMakeFiles/au_apps.dir/arkanoid/Arkanoid.cpp.o.d"
+  "CMakeFiles/au_apps.dir/breakout/Breakout.cpp.o"
+  "CMakeFiles/au_apps.dir/breakout/Breakout.cpp.o.d"
+  "CMakeFiles/au_apps.dir/canny/Canny.cpp.o"
+  "CMakeFiles/au_apps.dir/canny/Canny.cpp.o.d"
+  "CMakeFiles/au_apps.dir/common/GameEnv.cpp.o"
+  "CMakeFiles/au_apps.dir/common/GameEnv.cpp.o.d"
+  "CMakeFiles/au_apps.dir/common/RlHarness.cpp.o"
+  "CMakeFiles/au_apps.dir/common/RlHarness.cpp.o.d"
+  "CMakeFiles/au_apps.dir/flappy/Flappy.cpp.o"
+  "CMakeFiles/au_apps.dir/flappy/Flappy.cpp.o.d"
+  "CMakeFiles/au_apps.dir/mario/Mario.cpp.o"
+  "CMakeFiles/au_apps.dir/mario/Mario.cpp.o.d"
+  "CMakeFiles/au_apps.dir/phylip/Phylip.cpp.o"
+  "CMakeFiles/au_apps.dir/phylip/Phylip.cpp.o.d"
+  "CMakeFiles/au_apps.dir/rothwell/Rothwell.cpp.o"
+  "CMakeFiles/au_apps.dir/rothwell/Rothwell.cpp.o.d"
+  "CMakeFiles/au_apps.dir/sphinx/Sphinx.cpp.o"
+  "CMakeFiles/au_apps.dir/sphinx/Sphinx.cpp.o.d"
+  "CMakeFiles/au_apps.dir/torcs/Torcs.cpp.o"
+  "CMakeFiles/au_apps.dir/torcs/Torcs.cpp.o.d"
+  "libau_apps.a"
+  "libau_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/au_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Checkpoint.cpp" "src/core/CMakeFiles/au_core.dir/Checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/au_core.dir/Checkpoint.cpp.o.d"
+  "/root/repo/src/core/Config.cpp" "src/core/CMakeFiles/au_core.dir/Config.cpp.o" "gcc" "src/core/CMakeFiles/au_core.dir/Config.cpp.o.d"
+  "/root/repo/src/core/DatabaseStore.cpp" "src/core/CMakeFiles/au_core.dir/DatabaseStore.cpp.o" "gcc" "src/core/CMakeFiles/au_core.dir/DatabaseStore.cpp.o.d"
+  "/root/repo/src/core/Model.cpp" "src/core/CMakeFiles/au_core.dir/Model.cpp.o" "gcc" "src/core/CMakeFiles/au_core.dir/Model.cpp.o.d"
+  "/root/repo/src/core/Runtime.cpp" "src/core/CMakeFiles/au_core.dir/Runtime.cpp.o" "gcc" "src/core/CMakeFiles/au_core.dir/Runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/au_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/au_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/au_core.dir/Checkpoint.cpp.o"
+  "CMakeFiles/au_core.dir/Checkpoint.cpp.o.d"
+  "CMakeFiles/au_core.dir/Config.cpp.o"
+  "CMakeFiles/au_core.dir/Config.cpp.o.d"
+  "CMakeFiles/au_core.dir/DatabaseStore.cpp.o"
+  "CMakeFiles/au_core.dir/DatabaseStore.cpp.o.d"
+  "CMakeFiles/au_core.dir/Model.cpp.o"
+  "CMakeFiles/au_core.dir/Model.cpp.o.d"
+  "CMakeFiles/au_core.dir/Runtime.cpp.o"
+  "CMakeFiles/au_core.dir/Runtime.cpp.o.d"
+  "libau_core.a"
+  "libau_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/au_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

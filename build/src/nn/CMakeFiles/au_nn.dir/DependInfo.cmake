@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/Layers.cpp" "src/nn/CMakeFiles/au_nn.dir/Layers.cpp.o" "gcc" "src/nn/CMakeFiles/au_nn.dir/Layers.cpp.o.d"
+  "/root/repo/src/nn/Loss.cpp" "src/nn/CMakeFiles/au_nn.dir/Loss.cpp.o" "gcc" "src/nn/CMakeFiles/au_nn.dir/Loss.cpp.o.d"
+  "/root/repo/src/nn/Network.cpp" "src/nn/CMakeFiles/au_nn.dir/Network.cpp.o" "gcc" "src/nn/CMakeFiles/au_nn.dir/Network.cpp.o.d"
+  "/root/repo/src/nn/Optimizer.cpp" "src/nn/CMakeFiles/au_nn.dir/Optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/au_nn.dir/Optimizer.cpp.o.d"
+  "/root/repo/src/nn/QLearner.cpp" "src/nn/CMakeFiles/au_nn.dir/QLearner.cpp.o" "gcc" "src/nn/CMakeFiles/au_nn.dir/QLearner.cpp.o.d"
+  "/root/repo/src/nn/Supervised.cpp" "src/nn/CMakeFiles/au_nn.dir/Supervised.cpp.o" "gcc" "src/nn/CMakeFiles/au_nn.dir/Supervised.cpp.o.d"
+  "/root/repo/src/nn/Tensor.cpp" "src/nn/CMakeFiles/au_nn.dir/Tensor.cpp.o" "gcc" "src/nn/CMakeFiles/au_nn.dir/Tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/au_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/au_nn.dir/Layers.cpp.o"
+  "CMakeFiles/au_nn.dir/Layers.cpp.o.d"
+  "CMakeFiles/au_nn.dir/Loss.cpp.o"
+  "CMakeFiles/au_nn.dir/Loss.cpp.o.d"
+  "CMakeFiles/au_nn.dir/Network.cpp.o"
+  "CMakeFiles/au_nn.dir/Network.cpp.o.d"
+  "CMakeFiles/au_nn.dir/Optimizer.cpp.o"
+  "CMakeFiles/au_nn.dir/Optimizer.cpp.o.d"
+  "CMakeFiles/au_nn.dir/QLearner.cpp.o"
+  "CMakeFiles/au_nn.dir/QLearner.cpp.o.d"
+  "CMakeFiles/au_nn.dir/Supervised.cpp.o"
+  "CMakeFiles/au_nn.dir/Supervised.cpp.o.d"
+  "CMakeFiles/au_nn.dir/Tensor.cpp.o"
+  "CMakeFiles/au_nn.dir/Tensor.cpp.o.d"
+  "libau_nn.a"
+  "libau_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/au_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/au_semantics.dir/Interp.cpp.o"
+  "CMakeFiles/au_semantics.dir/Interp.cpp.o.d"
+  "libau_semantics.a"
+  "libau_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/au_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

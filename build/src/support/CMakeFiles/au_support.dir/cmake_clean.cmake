@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/au_support.dir/Image.cpp.o"
+  "CMakeFiles/au_support.dir/Image.cpp.o.d"
+  "CMakeFiles/au_support.dir/Ssim.cpp.o"
+  "CMakeFiles/au_support.dir/Ssim.cpp.o.d"
+  "CMakeFiles/au_support.dir/Statistics.cpp.o"
+  "CMakeFiles/au_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/au_support.dir/Table.cpp.o"
+  "CMakeFiles/au_support.dir/Table.cpp.o.d"
+  "libau_support.a"
+  "libau_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/au_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

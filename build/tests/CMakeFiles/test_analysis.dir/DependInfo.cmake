@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AnalysisTest.cpp" "tests/CMakeFiles/test_analysis.dir/AnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/AnalysisTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/au_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/au_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/au_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/au_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/au_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/au_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_rl.dir/AppsRlTest.cpp.o"
+  "CMakeFiles/test_apps_rl.dir/AppsRlTest.cpp.o.d"
+  "test_apps_rl"
+  "test_apps_rl.pdb"
+  "test_apps_rl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_sl.dir/AppsSlTest.cpp.o"
+  "CMakeFiles/test_apps_sl.dir/AppsSlTest.cpp.o.d"
+  "test_apps_sl"
+  "test_apps_sl.pdb"
+  "test_apps_sl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_sl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

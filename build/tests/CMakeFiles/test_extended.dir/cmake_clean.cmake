@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extended.dir/ExtendedTest.cpp.o"
+  "CMakeFiles/test_extended.dir/ExtendedTest.cpp.o.d"
+  "test_extended"
+  "test_extended.pdb"
+  "test_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
