@@ -1,0 +1,175 @@
+//===- nn/Gemm.cpp - Blocked SGEMM and im2col kernels --------------------===//
+
+#include "nn/Gemm.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+using namespace au;
+using namespace au::nn;
+
+//===----------------------------------------------------------------------===//
+// Backend selection
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Backend readBackendFromEnv() {
+  const char *Env = std::getenv("AU_NN_BACKEND");
+  if (Env && std::strcmp(Env, "naive") == 0)
+    return Backend::Naive;
+  return Backend::Gemm;
+}
+
+Backend ActiveBackend = readBackendFromEnv();
+
+// Per-thread packing scratch for transposed operands. Packing happens on the
+// thread issuing the GEMM (before any parallel region), so concurrent GEMMs
+// from different pool workers never share a buffer.
+thread_local std::vector<float> PackABuf;
+thread_local std::vector<float> PackBBuf;
+
+/// Packs the transpose of the Rows x Cols row-major matrix \p Src (stride
+/// \p Ld) into \p Dst as a Cols x Rows row-major matrix.
+void packTranspose(const float *Src, int Rows, int Cols, int Ld, float *Dst) {
+  for (int R = 0; R < Rows; ++R) {
+    const float *SrcRow = Src + static_cast<size_t>(R) * Ld;
+    for (int C = 0; C < Cols; ++C)
+      Dst[static_cast<size_t>(C) * Rows + R] = SrcRow[C];
+  }
+}
+
+} // namespace
+
+Backend au::nn::backend() { return ActiveBackend; }
+
+void au::nn::setBackend(Backend B) { ActiveBackend = B; }
+
+//===----------------------------------------------------------------------===//
+// SGEMM
+//===----------------------------------------------------------------------===//
+
+void au::nn::sgemm(bool TransA, bool TransB, int M, int N, int K, float Alpha,
+                   const float *A, int Lda, const float *B, int Ldb,
+                   float Beta, float *C, int Ldc) {
+  assert(M >= 0 && N >= 0 && K >= 0 && "negative GEMM extents");
+  if (M == 0 || N == 0)
+    return;
+
+  // Normalize both operands to row-major op(A)[M][K] / op(B)[K][N] so the
+  // kernel below always streams unit-stride rows.
+  const float *AP = A;
+  int ALd = Lda;
+  if (TransA) {
+    PackABuf.resize(static_cast<size_t>(M) * K);
+    packTranspose(A, K, M, Lda, PackABuf.data());
+    AP = PackABuf.data();
+    ALd = K;
+  }
+  const float *BP = B;
+  int BLd = Ldb;
+  if (TransB) {
+    PackBBuf.resize(static_cast<size_t>(K) * N);
+    packTranspose(B, N, K, Ldb, PackBBuf.data());
+    BP = PackBBuf.data();
+    BLd = N;
+  }
+
+  // Blocked row-parallel kernel: each task owns whole rows of C, blocks over
+  // K so the touched slice of B stays cache-resident, and accumulates every
+  // C element in ascending-k order — bitwise identical at any thread count.
+  constexpr int KBlock = 256;
+  size_t FlopsPerRow = static_cast<size_t>(std::max(1, K)) * N;
+  size_t Grain = std::max<size_t>(1, 32768 / FlopsPerRow);
+  ThreadPool::global().parallelFor(0, static_cast<size_t>(M), Grain,
+                                   [&](size_t RowB, size_t RowE) {
+    for (size_t I = RowB; I != RowE; ++I) {
+      float *CRow = C + I * Ldc;
+      if (Beta == 0.0f)
+        std::fill(CRow, CRow + N, 0.0f);
+      else if (Beta != 1.0f)
+        for (int J = 0; J < N; ++J)
+          CRow[J] *= Beta;
+    }
+    for (int K0 = 0; K0 < K; K0 += KBlock) {
+      int K1 = std::min(K, K0 + KBlock);
+      for (size_t I = RowB; I != RowE; ++I) {
+        const float *ARow = AP + I * ALd;
+        float *CRow = C + I * Ldc;
+        // 4-way k unroll: one pass over CRow folds in four B rows, cutting
+        // C traffic 4x. The unroll boundaries depend only on (K0, K1), so
+        // the summation order is identical at any thread count.
+        int Kk = K0;
+        for (; Kk + 3 < K1; Kk += 4) {
+          float A0 = Alpha * ARow[Kk], A1 = Alpha * ARow[Kk + 1];
+          float A2 = Alpha * ARow[Kk + 2], A3 = Alpha * ARow[Kk + 3];
+          const float *B0 = BP + static_cast<size_t>(Kk) * BLd;
+          const float *B1 = B0 + BLd, *B2 = B1 + BLd, *B3 = B2 + BLd;
+          for (int J = 0; J < N; ++J)
+            CRow[J] += A0 * B0[J] + A1 * B1[J] + A2 * B2[J] + A3 * B3[J];
+        }
+        for (; Kk < K1; ++Kk) {
+          float AV = Alpha * ARow[Kk];
+          if (AV == 0.0f)
+            continue;
+          const float *BRow = BP + static_cast<size_t>(Kk) * BLd;
+          for (int J = 0; J < N; ++J)
+            CRow[J] += AV * BRow[J];
+        }
+      }
+    }
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// im2col / col2im
+//===----------------------------------------------------------------------===//
+
+void au::nn::im2col(const float *In, int C, int H, int W, int K, int S,
+                    float *Col) {
+  int OH = convOutDim(H, K, S), OW = convOutDim(W, K, S);
+  assert(OH > 0 && OW > 0 && "convolution input smaller than kernel");
+  size_t OutRow = static_cast<size_t>(OH) * OW;
+  for (int Ch = 0; Ch < C; ++Ch)
+    for (int Ky = 0; Ky < K; ++Ky)
+      for (int Kx = 0; Kx < K; ++Kx) {
+        float *Dst = Col + (((static_cast<size_t>(Ch) * K + Ky) * K + Kx) *
+                            OutRow);
+        const float *Plane =
+            In + (static_cast<size_t>(Ch) * H + Ky) * W + Kx;
+        for (int Oy = 0; Oy < OH; ++Oy) {
+          const float *Src = Plane + static_cast<size_t>(Oy) * S * W;
+          if (S == 1) {
+            std::memcpy(Dst, Src, sizeof(float) * OW);
+            Dst += OW;
+          } else {
+            for (int Ox = 0; Ox < OW; ++Ox)
+              *Dst++ = Src[static_cast<size_t>(Ox) * S];
+          }
+        }
+      }
+}
+
+void au::nn::col2im(const float *Col, int C, int H, int W, int K, int S,
+                    float *In) {
+  int OH = convOutDim(H, K, S), OW = convOutDim(W, K, S);
+  assert(OH > 0 && OW > 0 && "convolution input smaller than kernel");
+  for (int Ch = 0; Ch < C; ++Ch)
+    for (int Ky = 0; Ky < K; ++Ky)
+      for (int Kx = 0; Kx < K; ++Kx) {
+        const float *Src = Col + (((static_cast<size_t>(Ch) * K + Ky) * K +
+                                   Kx) *
+                                  OH * OW);
+        float *Plane = In + (static_cast<size_t>(Ch) * H + Ky) * W + Kx;
+        for (int Oy = 0; Oy < OH; ++Oy) {
+          float *Dst = Plane + static_cast<size_t>(Oy) * S * W;
+          for (int Ox = 0; Ox < OW; ++Ox)
+            Dst[static_cast<size_t>(Ox) * S] += *Src++;
+        }
+      }
+}

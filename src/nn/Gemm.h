@@ -1,0 +1,66 @@
+//===- nn/Gemm.h - Blocked SGEMM and im2col kernels ------------*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batched compute engine's kernels: a blocked, row-parallel SGEMM with a
+/// transpose-aware interface, and the im2col/col2im lowering that expresses
+/// Conv2D forward, input-gradient, and weight-gradient as GEMM. Every kernel
+/// accumulates each output element in a fixed (k-ascending) order regardless
+/// of blocking or thread count, so results are bitwise reproducible.
+///
+/// The engine is selectable at runtime: AU_NN_BACKEND=naive keeps the
+/// original scalar per-sample layer kernels as a reference implementation for
+/// differential testing; the default (gemm) routes minibatches through the
+/// kernels in this file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_NN_GEMM_H
+#define AU_NN_GEMM_H
+
+#include <cstddef>
+
+namespace au {
+namespace nn {
+
+/// Which compute engine the trainers and batched layer paths use.
+enum class Backend {
+  Gemm, ///< Batched GEMM/im2col kernels (default).
+  Naive ///< Original scalar per-sample reference kernels.
+};
+
+/// The active backend: AU_NN_BACKEND=naive|gemm on first query, unless
+/// overridden by setBackend().
+Backend backend();
+
+/// Overrides the active backend (tests and benchmarks).
+void setBackend(Backend B);
+
+/// C = Alpha * op(A) * op(B) + Beta * C over row-major matrices, where
+/// op(X) = X or X^T per the Trans flags. op(A) is M x K, op(B) is K x N and
+/// C is M x N; Lda/Ldb/Ldc are the row strides of the *stored* matrices.
+/// Rows of C are computed in parallel; each element accumulates k-ascending,
+/// so the result is independent of the thread count.
+void sgemm(bool TransA, bool TransB, int M, int N, int K, float Alpha,
+           const float *A, int Lda, const float *B, int Ldb, float Beta,
+           float *C, int Ldc);
+
+/// Number of output rows/columns of a valid convolution.
+inline int convOutDim(int InDim, int K, int S) { return (InDim - K) / S + 1; }
+
+/// Lowers a (C, H, W) input to the column matrix Col[C*K*K][OH*OW] with
+/// Col[(c*K + ky)*K + kx][oy*OW + ox] = In[c][oy*S + ky][ox*S + kx], so a
+/// valid convolution becomes Weights[OutC][C*K*K] * Col.
+void im2col(const float *In, int C, int H, int W, int K, int S, float *Col);
+
+/// Transposed scatter of im2col: accumulates Col back into the (C, H, W)
+/// image \p In (+=), used to form convolution input gradients.
+void col2im(const float *Col, int C, int H, int W, int K, int S, float *In);
+
+} // namespace nn
+} // namespace au
+
+#endif // AU_NN_GEMM_H

@@ -5,11 +5,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The layer abstraction for the NN substrate. Layers process one sample at a
-/// time (the networks in the paper are tiny — two to six dense layers — so
-/// single-sample processing with externally accumulated minibatch gradients
-/// is both simple and fast enough). A layer owns its parameters and the
-/// gradient accumulators that the optimizers consume.
+/// The layer abstraction for the NN substrate. Every layer supports two
+/// execution styles: the original scalar path (forward/backward on one
+/// sample, kept as the AU_NN_BACKEND=naive reference engine) and the batched
+/// path (forwardBatch/backwardBatch over rank-(N+1) tensors whose leading
+/// dimension is the minibatch), which the GEMM/im2col compute engine uses so
+/// a whole minibatch flows through the network in one call. A layer owns its
+/// parameters and the gradient accumulators that the optimizers consume;
+/// both styles accumulate into the same gradient buffers.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,6 +49,17 @@ public:
   /// Given dLoss/dOut, accumulates parameter gradients and returns
   /// dLoss/dIn. Must follow a forward() on the same sample.
   virtual Tensor backward(const Tensor &GradOut) = 0;
+
+  /// Batched forward pass: \p In is a rank-(N+1) tensor whose leading
+  /// dimension is the minibatch. Caches whatever backwardBatch needs for the
+  /// whole batch. The batched caches are separate from the scalar ones, so a
+  /// scalar forward() between a forwardBatch/backwardBatch pair is safe.
+  virtual Tensor forwardBatch(const Tensor &In) = 0;
+
+  /// Batched backward pass; must follow a forwardBatch() on the same batch.
+  /// Accumulates the summed minibatch parameter gradients and returns
+  /// dLoss/dIn with the same leading batch dimension.
+  virtual Tensor backwardBatch(const Tensor &GradOut) = 0;
 
   /// Parameter tensors (empty for stateless layers such as ReLU).
   virtual std::vector<ParamView> params() { return {}; }

@@ -2,7 +2,9 @@
 
 #include "nn/Layers.h"
 
+#include "nn/Gemm.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cmath>
@@ -77,6 +79,46 @@ Tensor Dense::backward(const Tensor &GradOut) {
   return GradIn;
 }
 
+Tensor Dense::forwardBatch(const Tensor &Input) {
+  assert(Input.rank() == 2 && Input.dim(1) == In &&
+         "dense batched input shape mismatch");
+  int BN = Input.dim(0);
+  LastInB = Input;
+  Tensor Y(std::vector<int>{BN, Out});
+  // Prefill each row with the bias, then accumulate X * W^T on top; this
+  // matches the scalar path's Acc = B[O] + sum order.
+  float *YD = Y.data();
+  for (int R = 0; R < BN; ++R)
+    std::copy(B.begin(), B.end(), YD + static_cast<size_t>(R) * Out);
+  sgemm(/*TransA=*/false, /*TransB=*/true, BN, Out, In, 1.0f, Input.data(),
+        In, W.data(), In, 1.0f, YD, Out);
+  return Y;
+}
+
+Tensor Dense::backwardBatch(const Tensor &GradOut) {
+  assert(GradOut.rank() == 2 && GradOut.dim(1) == Out &&
+         "dense batched gradient shape mismatch");
+  int BN = GradOut.dim(0);
+  assert(LastInB.rank() == 2 && LastInB.dim(0) == BN &&
+         "batched backward without matching forward");
+  const float *G = GradOut.data();
+  // Bias gradients in fixed ascending-sample order.
+  for (int R = 0; R < BN; ++R) {
+    const float *GRow = G + static_cast<size_t>(R) * Out;
+    for (int O = 0; O < Out; ++O)
+      GB[O] += GRow[O];
+  }
+  // Weight gradients: GW += GradOut^T * X. Row-parallel over Out with
+  // ascending-sample accumulation per element — deterministic.
+  sgemm(/*TransA=*/true, /*TransB=*/false, Out, In, BN, 1.0f, G, Out,
+        LastInB.data(), In, 1.0f, GW.data(), In);
+  // Input gradients: GI = GradOut * W.
+  Tensor GI(std::vector<int>{BN, In});
+  sgemm(/*TransA=*/false, /*TransB=*/false, BN, In, Out, 1.0f, G, Out,
+        W.data(), In, 0.0f, GI.data(), In);
+  return GI;
+}
+
 std::vector<ParamView> Dense::params() {
   return {{W.data(), GW.data(), W.size()}, {B.data(), GB.data(), B.size()}};
 }
@@ -99,6 +141,33 @@ Tensor ReLU::backward(const Tensor &GradOut) {
   for (size_t I = 0, E = GradIn.size(); I != E; ++I)
     if (LastIn[I] <= 0.0f)
       GradIn[I] = 0.0f;
+  return GradIn;
+}
+
+Tensor ReLU::forwardBatch(const Tensor &In) {
+  LastInB = In;
+  Tensor Y = In;
+  float *D = Y.data();
+  ThreadPool::global().parallelFor(0, Y.size(), 8192,
+                                   [&](size_t B, size_t E) {
+    for (size_t I = B; I != E; ++I)
+      D[I] = std::max(D[I], 0.0f);
+  });
+  return Y;
+}
+
+Tensor ReLU::backwardBatch(const Tensor &GradOut) {
+  assert(GradOut.size() == LastInB.size() &&
+         "relu batched gradient size mismatch");
+  Tensor GradIn = GradOut;
+  float *D = GradIn.data();
+  const float *X = LastInB.data();
+  ThreadPool::global().parallelFor(0, GradIn.size(), 8192,
+                                   [&](size_t B, size_t E) {
+    for (size_t I = B; I != E; ++I)
+      if (X[I] <= 0.0f)
+        D[I] = 0.0f;
+  });
   return GradIn;
 }
 
@@ -165,6 +234,98 @@ Tensor Conv2D::backward(const Tensor &GradOut) {
   return GradIn;
 }
 
+Tensor Conv2D::forwardBatch(const Tensor &Input) {
+  assert(Input.rank() == 4 && Input.dim(1) == InC &&
+         "conv batched input shape mismatch");
+  int BN = Input.dim(0), H = Input.dim(2), Wd = Input.dim(3);
+  assert(H >= K && Wd >= K && "conv input smaller than kernel");
+  int OH = convOutDim(H, K, S), OW = convOutDim(Wd, K, S);
+  int CKK = InC * K * K;
+  size_t ColSz = static_cast<size_t>(CKK) * OH * OW;
+  if (ColB.size() < static_cast<size_t>(BN) * ColSz)
+    ColB.resize(static_cast<size_t>(BN) * ColSz);
+  InShapeB = Input.shape();
+  LastOH = OH;
+  LastOW = OW;
+  Tensor OutT(std::vector<int>{BN, OutC, OH, OW});
+  size_t InSz = Input.sampleSize(), OutSz = OutT.sampleSize();
+  const float *InD = Input.data();
+  float *OutD = OutT.data();
+  size_t PlaneSz = static_cast<size_t>(OH) * OW;
+  // Samples are independent: lower each to columns and run the per-sample
+  // GEMM Out_b = W * Col_b (+ bias) in parallel across the batch.
+  ThreadPool::global().parallelFor(0, static_cast<size_t>(BN), 1,
+                                   [&](size_t B0, size_t B1) {
+    for (size_t Bi = B0; Bi != B1; ++Bi) {
+      float *Col = &ColB[Bi * ColSz];
+      im2col(InD + Bi * InSz, InC, H, Wd, K, S, Col);
+      float *O = OutD + Bi * OutSz;
+      for (int Oc = 0; Oc < OutC; ++Oc)
+        std::fill(O + Oc * PlaneSz, O + (Oc + 1) * PlaneSz, B[Oc]);
+      sgemm(/*TransA=*/false, /*TransB=*/false, OutC, OH * OW, CKK, 1.0f,
+            W.data(), CKK, Col, OH * OW, 1.0f, O, OH * OW);
+    }
+  });
+  return OutT;
+}
+
+Tensor Conv2D::backwardBatch(const Tensor &GradOut) {
+  assert(GradOut.rank() == 4 && GradOut.dim(1) == OutC &&
+         "conv batched gradient shape mismatch");
+  int BN = GradOut.dim(0), OH = GradOut.dim(2), OW = GradOut.dim(3);
+  assert(!InShapeB.empty() && InShapeB[0] == BN && OH == LastOH &&
+         OW == LastOW && "batched backward without matching forward");
+  int H = InShapeB[2], Wd = InShapeB[3];
+  int CKK = InC * K * K;
+  size_t ColSz = static_cast<size_t>(CKK) * OH * OW;
+  size_t GSz = GradOut.sampleSize();
+  const float *GD = GradOut.data();
+  size_t PlaneSz = static_cast<size_t>(OH) * OW;
+
+  // Bias gradients: data-parallel over minibatch shards, fixed tree
+  // reduction.
+  parallelShardedSum(BN, 1, static_cast<size_t>(OutC),
+                     [&](size_t B0, size_t B1, float *Acc) {
+    for (size_t Bi = B0; Bi != B1; ++Bi) {
+      const float *G = GD + Bi * GSz;
+      for (int Oc = 0; Oc < OutC; ++Oc) {
+        float Sum = 0.0f;
+        const float *Row = G + Oc * PlaneSz;
+        for (size_t I = 0; I != PlaneSz; ++I)
+          Sum += Row[I];
+        Acc[Oc] += Sum;
+      }
+    }
+  }, GB.data());
+
+  // Weight gradients: GW += sum_b GradOut_b * Col_b^T, accumulated into
+  // per-shard buffers and tree-reduced so any thread count rounds alike.
+  parallelShardedSum(BN, 1, W.size(),
+                     [&](size_t B0, size_t B1, float *Acc) {
+    for (size_t Bi = B0; Bi != B1; ++Bi)
+      sgemm(/*TransA=*/false, /*TransB=*/true, OutC, CKK, OH * OW, 1.0f,
+            GD + Bi * GSz, OH * OW, &ColB[Bi * ColSz], OH * OW, 1.0f, Acc,
+            CKK);
+  }, GW.data());
+
+  // Input gradients: dCol_b = W^T * GradOut_b, scattered back by col2im.
+  if (DColB.size() < static_cast<size_t>(BN) * ColSz)
+    DColB.resize(static_cast<size_t>(BN) * ColSz);
+  Tensor GradIn(InShapeB);
+  float *GID = GradIn.data();
+  size_t InSz = GradIn.sampleSize();
+  ThreadPool::global().parallelFor(0, static_cast<size_t>(BN), 1,
+                                   [&](size_t B0, size_t B1) {
+    for (size_t Bi = B0; Bi != B1; ++Bi) {
+      float *DCol = &DColB[Bi * ColSz];
+      sgemm(/*TransA=*/true, /*TransB=*/false, CKK, OH * OW, OutC, 1.0f,
+            W.data(), CKK, GD + Bi * GSz, OH * OW, 0.0f, DCol, OH * OW);
+      col2im(DCol, InC, H, Wd, K, S, GID + Bi * InSz);
+    }
+  });
+  return GradIn;
+}
+
 std::vector<ParamView> Conv2D::params() {
   return {{W.data(), GW.data(), W.size()}, {B.data(), GB.data(), B.size()}};
 }
@@ -172,6 +333,39 @@ std::vector<ParamView> Conv2D::params() {
 //===----------------------------------------------------------------------===//
 // MaxPool2D
 //===----------------------------------------------------------------------===//
+
+namespace {
+
+/// 2x2/stride-2 max pooling of one (C, H, W) slab. Records, per output
+/// element, the flat index of the winning input offset by \p BaseIndex (the
+/// slab's position within a batch). The running max is seeded from the first
+/// window element — not a finite sentinel — so arbitrarily negative inputs
+/// pool correctly.
+void maxPool2x2(const float *In, int C, int H, int W, float *Out,
+                size_t *ArgMax, size_t BaseIndex) {
+  int OH = H / 2, OW = W / 2;
+  size_t Flat = 0;
+  for (int Ch = 0; Ch < C; ++Ch)
+    for (int Oy = 0; Oy < OH; ++Oy)
+      for (int Ox = 0; Ox < OW; ++Ox, ++Flat) {
+        size_t Idx = (static_cast<size_t>(Ch) * H + Oy * 2) * W + Ox * 2;
+        float Best = In[Idx];
+        size_t BestIdx = Idx;
+        const size_t Offsets[3] = {1, static_cast<size_t>(W),
+                                   static_cast<size_t>(W) + 1};
+        for (size_t Off : Offsets) {
+          float V = In[Idx + Off];
+          if (V > Best) {
+            Best = V;
+            BestIdx = Idx + Off;
+          }
+        }
+        Out[Flat] = Best;
+        ArgMax[Flat] = BaseIndex + BestIdx;
+      }
+}
+
+} // namespace
 
 Tensor MaxPool2D::forward(const Tensor &In) {
   assert(In.rank() == 3 && "maxpool input must be rank 3");
@@ -182,24 +376,7 @@ Tensor MaxPool2D::forward(const Tensor &In) {
   OutShape = {C, OH, OW};
   Tensor Out(OutShape);
   ArgMax.assign(Out.size(), 0);
-  size_t Flat = 0;
-  for (int Ch = 0; Ch < C; ++Ch)
-    for (int Oy = 0; Oy < OH; ++Oy)
-      for (int Ox = 0; Ox < OW; ++Ox, ++Flat) {
-        float Best = -1e30f;
-        size_t BestIdx = 0;
-        for (int Dy = 0; Dy < 2; ++Dy)
-          for (int Dx = 0; Dx < 2; ++Dx) {
-            int Y = Oy * 2 + Dy, X = Ox * 2 + Dx;
-            float V = In.at3(Ch, Y, X);
-            if (V > Best) {
-              Best = V;
-              BestIdx = (static_cast<size_t>(Ch) * H + Y) * W + X;
-            }
-          }
-        Out.values()[Flat] = Best;
-        ArgMax[Flat] = BestIdx;
-      }
+  maxPool2x2(In.data(), C, H, W, Out.data(), ArgMax.data(), 0);
   return Out;
 }
 
@@ -208,6 +385,46 @@ Tensor MaxPool2D::backward(const Tensor &GradOut) {
   Tensor GradIn(LastIn.shape());
   for (size_t I = 0, E = GradOut.size(); I != E; ++I)
     GradIn.values()[ArgMax[I]] += GradOut[I];
+  return GradIn;
+}
+
+Tensor MaxPool2D::forwardBatch(const Tensor &In) {
+  assert(In.rank() == 4 && "maxpool batched input must be rank 4");
+  int BN = In.dim(0), C = In.dim(1), H = In.dim(2), W = In.dim(3);
+  int OH = H / 2, OW = W / 2;
+  assert(OH > 0 && OW > 0 && "maxpool input too small");
+  InShapeB = In.shape();
+  Tensor Out(std::vector<int>{BN, C, OH, OW});
+  ArgMaxB.assign(Out.size(), 0);
+  size_t InSz = In.sampleSize(), OutSz = Out.sampleSize();
+  const float *InD = In.data();
+  float *OutD = Out.data();
+  size_t *AM = ArgMaxB.data();
+  ThreadPool::global().parallelFor(0, static_cast<size_t>(BN), 1,
+                                   [&](size_t B0, size_t B1) {
+    for (size_t Bi = B0; Bi != B1; ++Bi)
+      maxPool2x2(InD + Bi * InSz, C, H, W, OutD + Bi * OutSz,
+                 AM + Bi * OutSz, Bi * InSz);
+  });
+  return Out;
+}
+
+Tensor MaxPool2D::backwardBatch(const Tensor &GradOut) {
+  assert(GradOut.size() == ArgMaxB.size() &&
+         "maxpool batched gradient size mismatch");
+  int BN = InShapeB[0];
+  Tensor GradIn(InShapeB);
+  size_t OutSz = GradOut.sampleSize();
+  const float *G = GradOut.data();
+  float *D = GradIn.data();
+  // Each sample scatters only into its own input slab, so batch-parallel
+  // scatter is race-free and deterministic.
+  ThreadPool::global().parallelFor(0, static_cast<size_t>(BN), 1,
+                                   [&](size_t B0, size_t B1) {
+    for (size_t Bi = B0; Bi != B1; ++Bi)
+      for (size_t I = Bi * OutSz, E = (Bi + 1) * OutSz; I != E; ++I)
+        D[ArgMaxB[I]] += G[I];
+  });
   return GradIn;
 }
 
@@ -224,6 +441,19 @@ Tensor Reshape::backward(const Tensor &GradOut) {
   return GradOut.reshaped(InShape);
 }
 
+Tensor Reshape::forwardBatch(const Tensor &In) {
+  InShapeB = In.shape();
+  std::vector<int> NewShape;
+  NewShape.reserve(Target.size() + 1);
+  NewShape.push_back(In.dim(0));
+  NewShape.insert(NewShape.end(), Target.begin(), Target.end());
+  return In.reshaped(std::move(NewShape));
+}
+
+Tensor Reshape::backwardBatch(const Tensor &GradOut) {
+  return GradOut.reshaped(InShapeB);
+}
+
 //===----------------------------------------------------------------------===//
 // Flatten
 //===----------------------------------------------------------------------===//
@@ -235,4 +465,14 @@ Tensor Flatten::forward(const Tensor &In) {
 
 Tensor Flatten::backward(const Tensor &GradOut) {
   return GradOut.reshaped(InShape);
+}
+
+Tensor Flatten::forwardBatch(const Tensor &In) {
+  InShapeB = In.shape();
+  return In.reshaped(
+      {In.dim(0), static_cast<int>(In.sampleSize())});
+}
+
+Tensor Flatten::backwardBatch(const Tensor &GradOut) {
+  return GradOut.reshaped(InShapeB);
 }

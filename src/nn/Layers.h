@@ -29,6 +29,8 @@ public:
 
   Tensor forward(const Tensor &In) override;
   Tensor backward(const Tensor &GradOut) override;
+  Tensor forwardBatch(const Tensor &In) override;
+  Tensor backwardBatch(const Tensor &GradOut) override;
   std::vector<ParamView> params() override;
   std::string kind() const override { return "dense"; }
 
@@ -47,6 +49,7 @@ private:
   std::vector<float> GW; // Gradient accumulators.
   std::vector<float> GB;
   Tensor LastIn;
+  Tensor LastInB; // Batched activation cache ([Batch, In]).
 };
 
 /// Rectified linear unit, elementwise max(0, x).
@@ -54,10 +57,13 @@ class ReLU : public Layer {
 public:
   Tensor forward(const Tensor &In) override;
   Tensor backward(const Tensor &GradOut) override;
+  Tensor forwardBatch(const Tensor &In) override;
+  Tensor backwardBatch(const Tensor &GradOut) override;
   std::string kind() const override { return "relu"; }
 
 private:
   Tensor LastIn;
+  Tensor LastInB;
 };
 
 /// 2-D convolution over (channels, height, width) tensors, stride
@@ -69,6 +75,8 @@ public:
 
   Tensor forward(const Tensor &In) override;
   Tensor backward(const Tensor &GradOut) override;
+  Tensor forwardBatch(const Tensor &In) override;
+  Tensor backwardBatch(const Tensor &GradOut) override;
   std::vector<ParamView> params() override;
   std::string kind() const override { return "conv2d"; }
 
@@ -87,6 +95,14 @@ private:
   std::vector<float> GW;
   std::vector<float> GB;
   Tensor LastIn;
+  // Batched-path workspace, preallocated and reused across calls: the
+  // im2col column cache for the whole batch ([Batch][InC*K*K][OH*OW], also
+  // the activation cache the weight-gradient GEMM consumes) and the
+  // column-gradient scratch of identical layout.
+  std::vector<float> ColB;
+  std::vector<float> DColB;
+  std::vector<int> InShapeB; // Cached batched input shape.
+  int LastOH = 0, LastOW = 0;
 };
 
 /// 2x2 max pooling with stride 2 over (channels, height, width) tensors.
@@ -94,12 +110,16 @@ class MaxPool2D : public Layer {
 public:
   Tensor forward(const Tensor &In) override;
   Tensor backward(const Tensor &GradOut) override;
+  Tensor forwardBatch(const Tensor &In) override;
+  Tensor backwardBatch(const Tensor &GradOut) override;
   std::string kind() const override { return "maxpool2d"; }
 
 private:
   Tensor LastIn;
   std::vector<size_t> ArgMax; // Flat input index chosen per output element.
   std::vector<int> OutShape;
+  std::vector<size_t> ArgMaxB; // Batched argmax (flat index into the batch).
+  std::vector<int> InShapeB;
 };
 
 /// Reshapes the input to a fixed target shape (element counts must match).
@@ -112,11 +132,14 @@ public:
 
   Tensor forward(const Tensor &In) override;
   Tensor backward(const Tensor &GradOut) override;
+  Tensor forwardBatch(const Tensor &In) override;
+  Tensor backwardBatch(const Tensor &GradOut) override;
   std::string kind() const override { return "reshape"; }
 
 private:
   std::vector<int> Target;
   std::vector<int> InShape;
+  std::vector<int> InShapeB;
 };
 
 /// Flattens any tensor to rank 1.
@@ -124,10 +147,13 @@ class Flatten : public Layer {
 public:
   Tensor forward(const Tensor &In) override;
   Tensor backward(const Tensor &GradOut) override;
+  Tensor forwardBatch(const Tensor &In) override;
+  Tensor backwardBatch(const Tensor &GradOut) override;
   std::string kind() const override { return "flatten"; }
 
 private:
   std::vector<int> InShape;
+  std::vector<int> InShapeB;
 };
 
 } // namespace nn

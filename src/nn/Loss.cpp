@@ -23,6 +23,30 @@ double au::nn::mseLoss(const Tensor &Pred, const Tensor &Target,
   return Loss;
 }
 
+double au::nn::mseLossBatch(const Tensor &Pred, const Tensor &Target,
+                            Tensor &Grad) {
+  assert(Pred.rank() == 2 && Pred.shape() == Target.shape() &&
+         "batched loss shape mismatch");
+  assert(!Pred.empty() && "loss of empty tensors");
+  Grad = Tensor(Pred.shape());
+  int BN = Pred.dim(0), N = Pred.dim(1);
+  double InvN = 1.0 / static_cast<double>(N);
+  double Loss = 0.0;
+  const float *P = Pred.data(), *T = Target.data();
+  float *G = Grad.data();
+  for (int R = 0; R < BN; ++R) {
+    double SampleLoss = 0.0;
+    size_t Base = static_cast<size_t>(R) * N;
+    for (int I = 0; I < N; ++I) {
+      double D = P[Base + I] - T[Base + I];
+      SampleLoss += D * D * InvN;
+      G[Base + I] = static_cast<float>(2.0 * D * InvN);
+    }
+    Loss += SampleLoss;
+  }
+  return Loss;
+}
+
 double au::nn::huberLoss(const Tensor &Pred, const Tensor &Target,
                          Tensor &Grad) {
   assert(Pred.size() == Target.size() && "loss size mismatch");

@@ -23,6 +23,12 @@ namespace nn {
 /// Mean-squared error: mean((Pred - Target)^2). \p Grad gets d/dPred.
 double mseLoss(const Tensor &Pred, const Tensor &Target, Tensor &Grad);
 
+/// Batched MSE over [Batch, N] tensors: returns the *sum* over the batch of
+/// each sample's mean-squared error (so dividing by the dataset size yields
+/// the same epoch loss as the per-sample path), and fills \p Grad with the
+/// per-sample gradients 2 * (Pred - Target) / N.
+double mseLossBatch(const Tensor &Pred, const Tensor &Target, Tensor &Grad);
+
 /// Huber loss with delta = 1, averaged over elements.
 double huberLoss(const Tensor &Pred, const Tensor &Target, Tensor &Grad);
 

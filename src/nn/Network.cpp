@@ -31,6 +31,21 @@ Tensor Network::backward(const Tensor &GradOut) {
   return G;
 }
 
+Tensor Network::forwardBatch(const Tensor &In) {
+  assert(In.rank() >= 2 && "batched input needs a leading batch dimension");
+  Tensor X = In;
+  for (auto &L : Layers)
+    X = L->forwardBatch(X);
+  return X;
+}
+
+Tensor Network::backwardBatch(const Tensor &GradOut) {
+  Tensor G = GradOut;
+  for (auto It = Layers.rbegin(), E = Layers.rend(); It != E; ++It)
+    G = (*It)->backwardBatch(G);
+  return G;
+}
+
 std::vector<ParamView> Network::params() {
   std::vector<ParamView> All;
   for (auto &L : Layers)

@@ -44,6 +44,15 @@ public:
   /// Returns dLoss/dInput.
   Tensor backward(const Tensor &GradOut);
 
+  /// Runs the forward pass on a whole minibatch at once; \p In is a
+  /// rank-(N+1) tensor whose leading dimension is the batch. Uses the
+  /// GEMM/im2col compute engine.
+  Tensor forwardBatch(const Tensor &In);
+
+  /// Batched backward pass; must follow forwardBatch() on the same batch.
+  /// Accumulates the summed minibatch gradients and returns dLoss/dInput.
+  Tensor backwardBatch(const Tensor &GradOut);
+
   /// All parameter views across layers, in a stable order.
   std::vector<ParamView> params();
 

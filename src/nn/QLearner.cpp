@@ -2,12 +2,30 @@
 
 #include "nn/QLearner.h"
 
+#include "nn/Gemm.h"
 #include "nn/Loss.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace au;
 using namespace au::nn;
+
+namespace {
+
+/// Single-state inference. Under the GEMM backend this routes through the
+/// batched engine with a batch of one, so the au_NN serving path uses the
+/// same fast kernels as training.
+Tensor forwardOne(Network &Net, const std::vector<float> &State) {
+  if (backend() == Backend::Gemm) {
+    Tensor X({1, static_cast<int>(State.size())});
+    std::copy(State.begin(), State.end(), X.data());
+    return Net.forwardBatch(X);
+  }
+  return Net.forward(Tensor::fromVector(State));
+}
+
+} // namespace
 
 QLearner::QLearner(std::function<Network()> MakeNet, int Actions,
                    QConfig Config, uint64_t Seed)
@@ -18,7 +36,7 @@ QLearner::QLearner(std::function<Network()> MakeNet, int Actions,
 }
 
 std::vector<float> QLearner::qValues(const std::vector<float> &State) {
-  Tensor Out = Online.forward(Tensor::fromVector(State));
+  Tensor Out = forwardOne(Online, State);
   assert(Out.size() == static_cast<size_t>(NumActions) &&
          "network output arity does not match action count");
   return Out.values();
@@ -31,7 +49,7 @@ int QLearner::selectAction(const std::vector<float> &State, bool Learning) {
 }
 
 int QLearner::greedyAction(const std::vector<float> &State) {
-  Tensor Out = Online.forward(Tensor::fromVector(State));
+  Tensor Out = forwardOne(Online, State);
   return static_cast<int>(Out.argmax());
 }
 
@@ -69,18 +87,54 @@ void QLearner::trainStep() {
   if (Replay.size() < static_cast<size_t>(Cfg.BatchSize))
     return;
   Online.zeroGrads();
-  for (int B = 0; B < Cfg.BatchSize; ++B) {
-    const Transition &T = Replay[Rand.uniformInt(Replay.size())];
-    // Bootstrap target: r + gamma * max_a' Q_target(s', a') unless terminal.
-    float Y = T.Reward;
-    if (!T.Terminal) {
-      Tensor NextQ = Target.forward(Tensor::fromVector(T.NextState));
-      Y += static_cast<float>(Cfg.Gamma) * NextQ.maxValue();
+  if (backend() == Backend::Naive) {
+    for (int B = 0; B < Cfg.BatchSize; ++B) {
+      const Transition &T = Replay[Rand.uniformInt(Replay.size())];
+      // Bootstrap target: r + gamma * max_a' Q_target(s', a') unless
+      // terminal.
+      float Y = T.Reward;
+      if (!T.Terminal) {
+        Tensor NextQ = Target.forward(Tensor::fromVector(T.NextState));
+        Y += static_cast<float>(Cfg.Gamma) * NextQ.maxValue();
+      }
+      Tensor Pred = Online.forward(Tensor::fromVector(T.State));
+      Tensor Grad;
+      huberLossAt(Pred, static_cast<size_t>(T.Action), Y, Grad);
+      Online.backward(Grad);
     }
-    Tensor Pred = Online.forward(Tensor::fromVector(T.State));
-    Tensor Grad;
-    huberLossAt(Pred, static_cast<size_t>(T.Action), Y, Grad);
-    Online.backward(Grad);
+  } else {
+    // Batched replay update: one forwardBatch over the target and online
+    // networks instead of BatchSize scalar calls. The minibatch is drawn
+    // with the identical RNG sequence as the naive path.
+    int Bn = Cfg.BatchSize;
+    std::vector<const Transition *> Batch(Bn);
+    for (int B = 0; B < Bn; ++B)
+      Batch[B] = &Replay[Rand.uniformInt(Replay.size())];
+    int D = static_cast<int>(Batch[0]->State.size());
+    Tensor States({Bn, D}), NextStates({Bn, D});
+    for (int B = 0; B < Bn; ++B) {
+      const Transition &T = *Batch[B];
+      std::copy(T.State.begin(), T.State.end(), States.sampleData(B));
+      if (T.NextState.size() == static_cast<size_t>(D))
+        std::copy(T.NextState.begin(), T.NextState.end(),
+                  NextStates.sampleData(B));
+    }
+    Tensor NextQ = Target.forwardBatch(NextStates);
+    Tensor Pred = Online.forwardBatch(States);
+    Tensor Grad({Bn, NumActions});
+    for (int B = 0; B < Bn; ++B) {
+      const Transition &T = *Batch[B];
+      float Y = T.Reward;
+      if (!T.Terminal) {
+        const float *Row = NextQ.sampleData(B);
+        Y += static_cast<float>(Cfg.Gamma) *
+             *std::max_element(Row, Row + NumActions);
+      }
+      // Huber (delta = 1) derivative at the taken action, as huberLossAt.
+      float Diff = Pred.sampleData(B)[T.Action] - Y;
+      Grad.sampleData(B)[T.Action] = std::clamp(Diff, -1.0f, 1.0f);
+    }
+    Online.backwardBatch(Grad);
   }
   Opt.step(1.0 / Cfg.BatchSize);
 }

@@ -2,6 +2,7 @@
 
 #include "nn/Supervised.h"
 
+#include "nn/Gemm.h"
 #include "nn/Loss.h"
 #include "support/Rng.h"
 
@@ -72,6 +73,12 @@ double SupervisedTrainer::train(int Epochs, int BatchSize, Rng &Rand) {
   for (size_t I = 0; I != Order.size(); ++I)
     Order[I] = I;
 
+  const bool Batched = backend() == Backend::Gemm;
+  size_t NX = Data.front().X.size(), NY = Data.front().Y.size();
+  // Minibatch staging buffers, preallocated once and refilled per batch so
+  // the batched engine makes no per-sample allocations.
+  Tensor XB, YB, GradB;
+
   double EpochLoss = 0.0;
   for (int Ep = 0; Ep < Epochs; ++Ep) {
     // Fisher-Yates shuffle with the deterministic RNG.
@@ -79,23 +86,51 @@ double SupervisedTrainer::train(int Epochs, int BatchSize, Rng &Rand) {
       std::swap(Order[I - 1], Order[Rand.uniformInt(I)]);
 
     EpochLoss = 0.0;
-    size_t InBatch = 0;
-    for (size_t Pos = 0; Pos != Order.size(); ++Pos) {
-      const Sample &S = Data[Order[Pos]];
-      Tensor X = normalizeX(S.X);
-      Tensor YT(std::vector<int>{static_cast<int>(S.Y.size())});
-      for (size_t I = 0; I != S.Y.size(); ++I)
-        YT[I] = (S.Y[I] - YMean[I]) / YStd[I];
+    if (Batched) {
+      // One batched forward/backward per minibatch; gradients accumulate
+      // summed over the batch exactly as the per-sample path does.
+      for (size_t Start = 0; Start < Order.size();
+           Start += static_cast<size_t>(BatchSize)) {
+        size_t Bn =
+            std::min<size_t>(static_cast<size_t>(BatchSize),
+                             Order.size() - Start);
+        if (XB.rank() != 2 || XB.dim(0) != static_cast<int>(Bn)) {
+          XB = Tensor({static_cast<int>(Bn), static_cast<int>(NX)});
+          YB = Tensor({static_cast<int>(Bn), static_cast<int>(NY)});
+        }
+        for (size_t R = 0; R != Bn; ++R) {
+          const Sample &S = Data[Order[Start + R]];
+          float *XRow = XB.sampleData(static_cast<int>(R));
+          for (size_t I = 0; I != NX; ++I)
+            XRow[I] = (S.X[I] - XMean[I]) / XStd[I];
+          float *YRow = YB.sampleData(static_cast<int>(R));
+          for (size_t I = 0; I != NY; ++I)
+            YRow[I] = (S.Y[I] - YMean[I]) / YStd[I];
+        }
+        Tensor Pred = Net.forwardBatch(XB);
+        EpochLoss += mseLossBatch(Pred, YB, GradB);
+        Net.backwardBatch(GradB);
+        Opt.step(1.0 / static_cast<double>(Bn));
+      }
+    } else {
+      size_t InBatch = 0;
+      for (size_t Pos = 0; Pos != Order.size(); ++Pos) {
+        const Sample &S = Data[Order[Pos]];
+        Tensor X = normalizeX(S.X);
+        Tensor YT(std::vector<int>{static_cast<int>(S.Y.size())});
+        for (size_t I = 0; I != S.Y.size(); ++I)
+          YT[I] = (S.Y[I] - YMean[I]) / YStd[I];
 
-      Tensor Pred = Net.forward(X);
-      Tensor Grad;
-      EpochLoss += mseLoss(Pred, YT, Grad);
-      Net.backward(Grad);
-      ++InBatch;
-      if (InBatch == static_cast<size_t>(BatchSize) ||
-          Pos + 1 == Order.size()) {
-        Opt.step(1.0 / static_cast<double>(InBatch));
-        InBatch = 0;
+        Tensor Pred = Net.forward(X);
+        Tensor Grad;
+        EpochLoss += mseLoss(Pred, YT, Grad);
+        Net.backward(Grad);
+        ++InBatch;
+        if (InBatch == static_cast<size_t>(BatchSize) ||
+            Pos + 1 == Order.size()) {
+          Opt.step(1.0 / static_cast<double>(InBatch));
+          InBatch = 0;
+        }
       }
     }
     EpochLoss /= static_cast<double>(Data.size());
@@ -105,11 +140,47 @@ double SupervisedTrainer::train(int Epochs, int BatchSize, Rng &Rand) {
 
 std::vector<float> SupervisedTrainer::predict(const std::vector<float> &X) {
   assert(Normalized && "predict before train");
-  Tensor Out = Net.forward(normalizeX(X));
+  Tensor Out;
+  if (backend() == Backend::Gemm)
+    Out = Net.forwardBatch(
+        normalizeX(X).reshaped({1, static_cast<int>(X.size())}));
+  else
+    Out = Net.forward(normalizeX(X));
   std::vector<float> Y(Out.size());
   for (size_t I = 0, E = Out.size(); I != E; ++I)
     Y[I] = Out[I] * YStd[I] + YMean[I];
   return Y;
+}
+
+std::vector<std::vector<float>>
+SupervisedTrainer::predictBatch(const std::vector<std::vector<float>> &Xs) {
+  assert(Normalized && "predict before train");
+  std::vector<std::vector<float>> Out;
+  if (Xs.empty())
+    return Out;
+  Out.reserve(Xs.size());
+  if (backend() == Backend::Naive) {
+    for (const std::vector<float> &X : Xs)
+      Out.push_back(predict(X));
+    return Out;
+  }
+  size_t NX = XMean.size(), NY = YMean.size();
+  Tensor XB({static_cast<int>(Xs.size()), static_cast<int>(NX)});
+  for (size_t R = 0; R != Xs.size(); ++R) {
+    assert(Xs[R].size() == NX && "feature size mismatch");
+    float *Row = XB.sampleData(static_cast<int>(R));
+    for (size_t I = 0; I != NX; ++I)
+      Row[I] = (Xs[R][I] - XMean[I]) / XStd[I];
+  }
+  Tensor Pred = Net.forwardBatch(XB);
+  for (size_t R = 0; R != Xs.size(); ++R) {
+    const float *Row = Pred.sampleData(static_cast<int>(R));
+    std::vector<float> Y(NY);
+    for (size_t I = 0; I != NY; ++I)
+      Y[I] = Row[I] * YStd[I] + YMean[I];
+    Out.push_back(std::move(Y));
+  }
+  return Out;
 }
 
 void SupervisedTrainer::getNormalization(std::vector<float> &XM,

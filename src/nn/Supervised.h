@@ -51,6 +51,12 @@ public:
   /// Predicts the de-normalized target values for raw features \p X.
   std::vector<float> predict(const std::vector<float> &X);
 
+  /// Predicts for many feature vectors in one batched network call (the
+  /// high-throughput serving entry point). Equivalent to calling predict()
+  /// per row.
+  std::vector<std::vector<float>>
+  predictBatch(const std::vector<std::vector<float>> &Xs);
+
   /// Mean |prediction - target| per output in raw target units over the
   /// dataset (resubstitution error, for quick sanity checks).
   double meanAbsError();

@@ -73,6 +73,29 @@ public:
   /// Reinterprets the data with a new shape of identical element count.
   Tensor reshaped(std::vector<int> NewShape) const;
 
+  /// For a batched tensor whose leading dimension is the batch, the number
+  /// of elements in one sample.
+  size_t sampleSize() const {
+    assert(rank() >= 1 && Dims[0] > 0 && "sampleSize of unbatched tensor");
+    return Data.size() / static_cast<size_t>(Dims[0]);
+  }
+
+  /// Pointer to the start of batched sample \p B (leading dim = batch).
+  float *sampleData(int B) {
+    assert(rank() >= 1 && B >= 0 && B < Dims[0] && "sample index out of range");
+    return Data.data() + static_cast<size_t>(B) * sampleSize();
+  }
+  const float *sampleData(int B) const {
+    assert(rank() >= 1 && B >= 0 && B < Dims[0] && "sample index out of range");
+    return Data.data() + static_cast<size_t>(B) * sampleSize();
+  }
+
+  /// The per-sample shape of a batched tensor (shape without dim 0).
+  std::vector<int> sampleShape() const {
+    assert(rank() >= 1 && "sampleShape of rank-0 tensor");
+    return std::vector<int>(Dims.begin() + 1, Dims.end());
+  }
+
   /// Sets every element to \p V.
   void fill(float V);
 

@@ -1,0 +1,170 @@
+//===- support/ThreadPool.cpp - Deterministic work-sharing pool ----------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+using namespace au;
+
+namespace {
+
+/// Set while a thread is executing chunks of some job; nested parallelFor
+/// calls from such a thread run inline instead of re-entering the pool.
+thread_local bool InParallelRegion = false;
+
+int defaultThreadCount() {
+  if (const char *Env = std::getenv("AU_NN_THREADS")) {
+    int N = std::atoi(Env);
+    if (N > 0)
+      return N;
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW > 0 ? static_cast<int>(HW) : 1;
+}
+
+std::mutex GlobalM;
+std::unique_ptr<ThreadPool> Global;
+
+} // namespace
+
+ThreadPool::ThreadPool(int NumThreads) : Threads(std::max(1, NumThreads)) {
+  // The calling thread participates in every loop it issues, but workers are
+  // what bound concurrency while the caller waits, so spawn Threads workers
+  // when parallel execution is requested at all.
+  if (Threads > 1) {
+    Workers.reserve(Threads);
+    for (int I = 0; I < Threads; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> G(QueueM);
+    Stop = true;
+  }
+  QueueCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::help(Job &J) {
+  bool Saved = InParallelRegion;
+  InParallelRegion = true;
+  for (;;) {
+    size_t C = J.Next.fetch_add(1, std::memory_order_relaxed);
+    if (C >= J.NumChunks)
+      break;
+    size_t B = J.Begin + C * J.Grain;
+    size_t E = std::min(J.End, B + J.Grain);
+    J.Body(B, E);
+    if (J.Done.fetch_add(1, std::memory_order_acq_rel) + 1 == J.NumChunks) {
+      std::lock_guard<std::mutex> G(J.M);
+      J.Cv.notify_all();
+    }
+  }
+  InParallelRegion = Saved;
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> J;
+    {
+      std::unique_lock<std::mutex> Lk(QueueM);
+      QueueCv.wait(Lk, [this] { return Stop || !Queue.empty(); });
+      if (Stop)
+        return;
+      J = Queue.front();
+      if (J->Next.load(std::memory_order_relaxed) >= J->NumChunks) {
+        // Exhausted job another thread is finishing; retire it.
+        Queue.pop_front();
+        continue;
+      }
+    }
+    help(*J);
+  }
+}
+
+void ThreadPool::parallelFor(size_t Begin, size_t End, size_t Grain,
+                             const std::function<void(size_t, size_t)> &Body) {
+  if (Begin >= End)
+    return;
+  assert(Grain > 0 && "parallelFor grain must be positive");
+  size_t N = End - Begin;
+  if (Workers.empty() || InParallelRegion || N <= Grain) {
+    Body(Begin, End);
+    return;
+  }
+  auto J = std::make_shared<Job>();
+  J->Body = Body;
+  J->Begin = Begin;
+  J->End = End;
+  J->Grain = Grain;
+  J->NumChunks = (N + Grain - 1) / Grain;
+  {
+    std::lock_guard<std::mutex> G(QueueM);
+    Queue.push_back(J);
+  }
+  QueueCv.notify_all();
+  help(*J);
+  {
+    std::unique_lock<std::mutex> Lk(J->M);
+    J->Cv.wait(Lk, [&] {
+      return J->Done.load(std::memory_order_acquire) == J->NumChunks;
+    });
+  }
+  {
+    // Retire the job so workers never observe a stale head entry.
+    std::lock_guard<std::mutex> G(QueueM);
+    auto It = std::find(Queue.begin(), Queue.end(), J);
+    if (It != Queue.end())
+      Queue.erase(It);
+  }
+}
+
+ThreadPool &ThreadPool::global() {
+  std::lock_guard<std::mutex> G(GlobalM);
+  if (!Global)
+    Global = std::make_unique<ThreadPool>(defaultThreadCount());
+  return *Global;
+}
+
+void ThreadPool::setGlobalThreads(int NumThreads) {
+  std::lock_guard<std::mutex> G(GlobalM);
+  Global = std::make_unique<ThreadPool>(NumThreads);
+}
+
+void au::parallelShardedSum(
+    size_t Items, size_t ShardGrain, size_t AccSize,
+    const std::function<void(size_t Begin, size_t End, float *Acc)> &Body,
+    float *Out) {
+  if (Items == 0 || AccSize == 0)
+    return;
+  assert(ShardGrain > 0 && "shard grain must be positive");
+  // Shard structure is a pure function of the workload, never of the thread
+  // count, so the reduction tree (and its rounding) is reproducible.
+  constexpr size_t MaxShards = 16;
+  size_t NumShards = std::min(MaxShards, (Items + ShardGrain - 1) / ShardGrain);
+  size_t Span = (Items + NumShards - 1) / NumShards;
+  std::vector<float> Bufs(NumShards * AccSize, 0.0f);
+  ThreadPool::global().parallelFor(0, NumShards, 1, [&](size_t B, size_t E) {
+    for (size_t S = B; S != E; ++S) {
+      size_t Lo = S * Span;
+      size_t Hi = std::min(Items, Lo + Span);
+      if (Lo < Hi)
+        Body(Lo, Hi, &Bufs[S * AccSize]);
+    }
+  });
+  // Pairwise tree reduction in fixed order: shard i absorbs shard i + Step.
+  for (size_t Step = 1; Step < NumShards; Step *= 2)
+    for (size_t I = 0; I + Step < NumShards; I += 2 * Step) {
+      float *Dst = &Bufs[I * AccSize];
+      const float *Src = &Bufs[(I + Step) * AccSize];
+      for (size_t K = 0; K != AccSize; ++K)
+        Dst[K] += Src[K];
+    }
+  for (size_t K = 0; K != AccSize; ++K)
+    Out[K] += Bufs[K];
+}

@@ -1,0 +1,108 @@
+//===- support/ThreadPool.h - Deterministic work-sharing pool --*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small persistent thread pool exposing a parallelFor primitive, used by
+/// the NN compute engine for row-parallel GEMM and minibatch data
+/// parallelism. Two properties make results reproducible at any thread
+/// count:
+///
+///  * parallelFor splits the iteration space into chunks whose boundaries
+///    depend only on the range and the grain size — never on the number of
+///    threads — and every chunk writes disjoint data, so the schedule cannot
+///    change any result.
+///  * parallelShardedSum gives each fixed shard of the iteration space its
+///    own zero-initialized accumulation buffer, then combines the buffers
+///    with a pairwise tree reduction in a fixed order, so floating-point
+///    rounding is identical for 1, 2, or 64 threads.
+///
+/// The global pool is sized by the AU_NN_THREADS environment variable
+/// (default: the hardware concurrency). Nested parallel regions execute
+/// inline on the calling thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_SUPPORT_THREADPOOL_H
+#define AU_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace au {
+
+/// A fixed-size pool of worker threads executing chunked parallel loops.
+class ThreadPool {
+public:
+  /// Creates a pool that runs loop bodies on \p NumThreads threads total.
+  /// With NumThreads <= 1 no workers are spawned and every parallelFor runs
+  /// inline on the calling thread.
+  explicit ThreadPool(int NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  int numThreads() const { return Threads; }
+
+  /// Runs \p Body over [Begin, End), partitioned into chunks of at most
+  /// \p Grain iterations. Body receives half-open sub-ranges. Chunk
+  /// boundaries are a pure function of the range and grain, so any
+  /// computation whose chunks write disjoint data is deterministic at every
+  /// thread count. Nested calls (from inside a Body) run inline.
+  void parallelFor(size_t Begin, size_t End, size_t Grain,
+                   const std::function<void(size_t, size_t)> &Body);
+
+  /// The process-wide pool, created on first use with AU_NN_THREADS threads
+  /// (default: hardware concurrency).
+  static ThreadPool &global();
+
+  /// Replaces the global pool with one of \p NumThreads threads. Must not
+  /// race with parallel work; intended for tests and benchmarks.
+  static void setGlobalThreads(int NumThreads);
+
+private:
+  struct Job {
+    std::function<void(size_t, size_t)> Body;
+    size_t Begin = 0;
+    size_t Grain = 1;
+    size_t NumChunks = 0;
+    size_t End = 0;
+    std::atomic<size_t> Next{0};
+    std::atomic<size_t> Done{0};
+    std::mutex M;
+    std::condition_variable Cv;
+  };
+
+  void workerLoop();
+  static void help(Job &J);
+
+  int Threads;
+  std::vector<std::thread> Workers;
+  std::mutex QueueM;
+  std::condition_variable QueueCv;
+  std::deque<std::shared_ptr<Job>> Queue;
+  bool Stop = false;
+};
+
+/// Data-parallel accumulation over [0, Items) with reproducible rounding:
+/// the range is split into at most 16 shards (a pure function of \p Items
+/// and \p ShardGrain), \p Body accumulates each shard into its own
+/// zero-initialized buffer of \p AccSize floats, and the buffers are folded
+/// pairwise in a fixed tree order, then added into \p Out.
+void parallelShardedSum(
+    size_t Items, size_t ShardGrain, size_t AccSize,
+    const std::function<void(size_t Begin, size_t End, float *Acc)> &Body,
+    float *Out);
+
+} // namespace au
+
+#endif // AU_SUPPORT_THREADPOOL_H

@@ -1,0 +1,348 @@
+//===- tests/NnKernelsTest.cpp - Batched compute engine tests ------------===//
+//
+// Differential tests pinning the GEMM/im2col batched engine to the scalar
+// reference backend (AU_NN_BACKEND=naive), plus determinism-under-threading
+// and ThreadPool unit tests.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/Gemm.h"
+#include "nn/Layers.h"
+#include "nn/Loss.h"
+#include "nn/Network.h"
+#include "nn/Supervised.h"
+#include "support/Rng.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+using namespace au;
+using namespace au::nn;
+
+namespace {
+
+/// Asserts |A - B| <= 1e-4 * max(1, |B|) elementwise.
+void expectClose(const std::vector<float> &A, const std::vector<float> &B,
+                 const char *What) {
+  ASSERT_EQ(A.size(), B.size()) << What;
+  for (size_t I = 0; I != A.size(); ++I) {
+    double Tol = 1e-4 * std::max(1.0, std::abs(static_cast<double>(B[I])));
+    ASSERT_NEAR(A[I], B[I], Tol) << What << " at index " << I;
+  }
+}
+
+Tensor randomTensor(std::vector<int> Shape, Rng &Rand) {
+  Tensor T(std::move(Shape));
+  for (float &V : T.values())
+    V = static_cast<float>(Rand.uniform(-1.5, 1.5));
+  return T;
+}
+
+/// Collects a layer's parameter gradients as one flat vector.
+std::vector<float> gradSnapshot(Layer &L) {
+  std::vector<float> Out;
+  for (ParamView P : L.params())
+    Out.insert(Out.end(), P.Grads, P.Grads + P.Count);
+  return Out;
+}
+
+/// Restores the GEMM backend and a default pool after each test.
+class NnKernelsTest : public ::testing::Test {
+protected:
+  void TearDown() override {
+    setBackend(Backend::Gemm);
+    ThreadPool::setGlobalThreads(1);
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST_F(NnKernelsTest, ParallelForCoversRangeExactlyOnce) {
+  for (int Threads : {1, 2, 8}) {
+    ThreadPool Pool(Threads);
+    std::vector<std::atomic<int>> Hits(1000);
+    for (auto &H : Hits)
+      H = 0;
+    Pool.parallelFor(0, Hits.size(), 7, [&](size_t B, size_t E) {
+      for (size_t I = B; I != E; ++I)
+        ++Hits[I];
+    });
+    for (size_t I = 0; I != Hits.size(); ++I)
+      ASSERT_EQ(Hits[I], 1) << "threads=" << Threads << " index=" << I;
+  }
+}
+
+TEST_F(NnKernelsTest, ShardedSumMatchesSerialAtAnyThreadCount) {
+  std::vector<float> Items(1237);
+  Rng Rand(7);
+  for (float &V : Items)
+    V = static_cast<float>(Rand.uniform(-1, 1));
+  std::vector<float> Results;
+  for (int Threads : {1, 2, 8}) {
+    ThreadPool::setGlobalThreads(Threads);
+    float Out = 1.0f; // parallelShardedSum accumulates on top.
+    parallelShardedSum(Items.size(), 10, 1,
+                       [&](size_t B, size_t E, float *Acc) {
+      for (size_t I = B; I != E; ++I)
+        Acc[0] += Items[I];
+    }, &Out);
+    Results.push_back(Out);
+  }
+  // Bitwise identical across thread counts (fixed shard tree).
+  EXPECT_EQ(Results[0], Results[1]);
+  EXPECT_EQ(Results[0], Results[2]);
+  double Serial = 1.0 + std::accumulate(Items.begin(), Items.end(), 0.0);
+  EXPECT_NEAR(Results[0], Serial, 1e-3);
+}
+
+//===----------------------------------------------------------------------===//
+// SGEMM
+//===----------------------------------------------------------------------===//
+
+TEST_F(NnKernelsTest, SgemmMatchesReferenceAllTransposeCombos) {
+  const int M = 5, N = 7, K = 11;
+  Rng Rand(42);
+  ThreadPool::setGlobalThreads(4);
+  for (bool TA : {false, true})
+    for (bool TB : {false, true}) {
+      // Stored shapes: A is MxK (or KxM when transposed), B is KxN / NxK.
+      Tensor A = randomTensor(TA ? std::vector<int>{K, M}
+                                 : std::vector<int>{M, K}, Rand);
+      Tensor B = randomTensor(TB ? std::vector<int>{N, K}
+                                 : std::vector<int>{K, N}, Rand);
+      Tensor C = randomTensor({M, N}, Rand);
+      Tensor Ref = C;
+      const float Alpha = 0.75f, Beta = 0.5f;
+      for (int I = 0; I < M; ++I)
+        for (int J = 0; J < N; ++J) {
+          double Acc = 0.0;
+          for (int Kk = 0; Kk < K; ++Kk) {
+            float AV = TA ? A[Kk * M + I] : A[I * K + Kk];
+            float BV = TB ? B[J * K + Kk] : B[Kk * N + J];
+            Acc += static_cast<double>(AV) * BV;
+          }
+          Ref[I * N + J] = static_cast<float>(Alpha * Acc + Beta *
+                                              Ref[I * N + J]);
+        }
+      sgemm(TA, TB, M, N, K, Alpha, A.data(), TA ? M : K, B.data(),
+            TB ? K : N, Beta, C.data(), N);
+      expectClose(C.values(), Ref.values(), "sgemm");
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Dense: batched GEMM path vs scalar reference
+//===----------------------------------------------------------------------===//
+
+TEST_F(NnKernelsTest, DenseBatchMatchesNaive) {
+  ThreadPool::setGlobalThreads(4);
+  for (int BatchSize : {1, 17}) {
+    Rng R1(3), R2(3);
+    Dense Fast(7, 5, R1), Ref(7, 5, R2);
+    Rng Rand(99);
+    Tensor In = randomTensor({BatchSize, 7}, Rand);
+    Tensor GradOut = randomTensor({BatchSize, 5}, Rand);
+
+    Tensor FastOut = Fast.forwardBatch(In);
+    Tensor FastGradIn = Fast.backwardBatch(GradOut);
+
+    Tensor RefOut({BatchSize, 5}), RefGradIn({BatchSize, 7});
+    for (int B = 0; B < BatchSize; ++B) {
+      Tensor X({7});
+      std::copy(In.sampleData(B), In.sampleData(B) + 7, X.data());
+      Tensor Y = Ref.forward(X);
+      std::copy(Y.data(), Y.data() + 5, RefOut.sampleData(B));
+      Tensor G({5});
+      std::copy(GradOut.sampleData(B), GradOut.sampleData(B) + 5, G.data());
+      Tensor GI = Ref.backward(G);
+      std::copy(GI.data(), GI.data() + 7, RefGradIn.sampleData(B));
+    }
+
+    expectClose(FastOut.values(), RefOut.values(), "dense forward");
+    expectClose(FastGradIn.values(), RefGradIn.values(), "dense grad-in");
+    expectClose(gradSnapshot(Fast), gradSnapshot(Ref), "dense param grads");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Conv2D: im2col/GEMM path vs scalar reference, odd shapes
+//===----------------------------------------------------------------------===//
+
+TEST_F(NnKernelsTest, ConvBatchMatchesNaiveOddShapesAndStride) {
+  ThreadPool::setGlobalThreads(4);
+  struct Case {
+    int InC, OutC, K, S, H, W;
+  } Cases[] = {
+      {3, 5, 3, 1, 11, 9}, // non-square
+      {2, 4, 3, 2, 13, 7}, // stride > 1, non-square
+      {1, 8, 5, 2, 12, 17},
+  };
+  for (const Case &C : Cases)
+    for (int BatchSize : {1, 17}) {
+      Rng R1(5), R2(5);
+      Conv2D Fast(C.InC, C.OutC, C.K, C.S, R1);
+      Conv2D Ref(C.InC, C.OutC, C.K, C.S, R2);
+      Rng Rand(123);
+      Tensor In = randomTensor({BatchSize, C.InC, C.H, C.W}, Rand);
+      int OH = convOutDim(C.H, C.K, C.S), OW = convOutDim(C.W, C.K, C.S);
+      Tensor GradOut = randomTensor({BatchSize, C.OutC, OH, OW}, Rand);
+
+      Tensor FastOut = Fast.forwardBatch(In);
+      Tensor FastGradIn = Fast.backwardBatch(GradOut);
+
+      Tensor RefOut(FastOut.shape()), RefGradIn(In.shape());
+      size_t InSz = In.sampleSize(), OutSz = FastOut.sampleSize();
+      for (int B = 0; B < BatchSize; ++B) {
+        Tensor X({C.InC, C.H, C.W});
+        std::copy(In.sampleData(B), In.sampleData(B) + InSz, X.data());
+        Tensor Y = Ref.forward(X);
+        std::copy(Y.data(), Y.data() + OutSz, RefOut.sampleData(B));
+        Tensor G({C.OutC, OH, OW});
+        std::copy(GradOut.sampleData(B), GradOut.sampleData(B) + OutSz,
+                  G.data());
+        Tensor GI = Ref.backward(G);
+        std::copy(GI.data(), GI.data() + InSz, RefGradIn.sampleData(B));
+      }
+
+      expectClose(FastOut.values(), RefOut.values(), "conv forward");
+      expectClose(FastGradIn.values(), RefGradIn.values(), "conv grad-in");
+      expectClose(gradSnapshot(Fast), gradSnapshot(Ref),
+                  "conv param grads");
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Full network equivalence (CNN stack: reshape/conv/relu/pool/flatten/dense)
+//===----------------------------------------------------------------------===//
+
+TEST_F(NnKernelsTest, CnnForwardBatchMatchesScalarForward) {
+  ThreadPool::setGlobalThreads(4);
+  Rng R1(11), R2(11);
+  Network Fast = buildDeepMindCnn(1, 16, {24}, 3, R1);
+  Network Ref = buildDeepMindCnn(1, 16, {24}, 3, R2);
+  Rng Rand(7);
+  const int BatchSize = 5, InSize = 16 * 16;
+  Tensor In = randomTensor({BatchSize, InSize}, Rand);
+  Tensor FastOut = Fast.forwardBatch(In);
+  for (int B = 0; B < BatchSize; ++B) {
+    Tensor X({InSize});
+    std::copy(In.sampleData(B), In.sampleData(B) + InSize, X.data());
+    Tensor Y = Ref.forward(X);
+    std::vector<float> FastRow(FastOut.sampleData(B),
+                               FastOut.sampleData(B) + Y.size());
+    expectClose(FastRow, Y.values(), "cnn forward");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Backend equivalence through the trainer
+//===----------------------------------------------------------------------===//
+
+TEST_F(NnKernelsTest, TrainerBackendsConverge) {
+  // Train the same model+data under both backends; losses and predictions
+  // must agree to within accumulated float-reassociation noise.
+  auto Run = [](Backend B) {
+    setBackend(B);
+    Rng NetRand(21);
+    SupervisedTrainer Trainer(buildDnn(4, {16, 8}, 2, NetRand), 1e-2);
+    Rng DataRand(5);
+    for (int I = 0; I < 50; ++I) {
+      float A = static_cast<float>(DataRand.uniform(-1, 1));
+      float C = static_cast<float>(DataRand.uniform(-1, 1));
+      Trainer.addSample({A, C, A * C, A - C}, {A + C, A * C});
+    }
+    Rng TrainRand(9);
+    double Loss = Trainer.train(8, 16, TrainRand);
+    std::vector<float> Pred = Trainer.predict({0.3f, -0.2f, 0.1f, 0.5f});
+    return std::make_pair(Loss, Pred);
+  };
+  auto [GemmLoss, GemmPred] = Run(Backend::Gemm);
+  auto [NaiveLoss, NaivePred] = Run(Backend::Naive);
+  EXPECT_NEAR(GemmLoss, NaiveLoss, 1e-3);
+  expectClose(GemmPred, NaivePred, "trainer predictions");
+  // And batched serving agrees with scalar serving.
+  setBackend(Backend::Gemm);
+  Rng NetRand(21);
+  SupervisedTrainer Trainer(buildDnn(4, {16, 8}, 2, NetRand), 1e-2);
+  Rng DataRand(5);
+  for (int I = 0; I < 50; ++I) {
+    float A = static_cast<float>(DataRand.uniform(-1, 1));
+    float C = static_cast<float>(DataRand.uniform(-1, 1));
+    Trainer.addSample({A, C, A * C, A - C}, {A + C, A * C});
+  }
+  Rng TrainRand(9);
+  Trainer.train(5, 16, TrainRand);
+  std::vector<std::vector<float>> Xs = {{0.3f, -0.2f, 0.1f, 0.5f},
+                                        {-0.9f, 0.4f, -0.36f, -1.3f}};
+  auto Batch = Trainer.predictBatch(Xs);
+  ASSERT_EQ(Batch.size(), 2u);
+  expectClose(Batch[0], Trainer.predict(Xs[0]), "predictBatch[0]");
+  expectClose(Batch[1], Trainer.predict(Xs[1]), "predictBatch[1]");
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism: training loss is bitwise identical at any thread count
+//===----------------------------------------------------------------------===//
+
+TEST_F(NnKernelsTest, TrainingIsDeterministicAcrossThreadCounts) {
+  auto Run = [] {
+    Rng NetRand(77);
+    // CNN model so conv kernels, sharded reductions and GEMMs all engage.
+    SupervisedTrainer Trainer(buildDeepMindCnn(1, 12, {16}, 2, NetRand),
+                              1e-3);
+    Rng DataRand(3);
+    for (int I = 0; I < 24; ++I) {
+      std::vector<float> X(12 * 12);
+      for (float &V : X)
+        V = static_cast<float>(DataRand.uniform(0, 1));
+      std::vector<float> Y = {X[0] + X[50],
+                              static_cast<float>(DataRand.uniform(-1, 1))};
+      Trainer.addSample(std::move(X), std::move(Y));
+    }
+    Rng TrainRand(13);
+    return Trainer.train(3, 8, TrainRand);
+  };
+  std::vector<double> Losses;
+  for (int Threads : {1, 2, 8}) {
+    ThreadPool::setGlobalThreads(Threads);
+    Losses.push_back(Run());
+  }
+  // Bitwise equality — the engine's schedules cannot change any rounding.
+  EXPECT_EQ(Losses[0], Losses[1]);
+  EXPECT_EQ(Losses[0], Losses[2]);
+}
+
+//===----------------------------------------------------------------------===//
+// MaxPool sentinel regression
+//===----------------------------------------------------------------------===//
+
+TEST_F(NnKernelsTest, MaxPoolHandlesArbitrarilyNegativeInputs) {
+  MaxPool2D Pool;
+  Tensor In({1, 2, 2});
+  // All inputs below the old -1e30 sentinel; the max is at index 3.
+  In[0] = -4e30f;
+  In[1] = -3e30f;
+  In[2] = -5e30f;
+  In[3] = -2e30f;
+  Tensor Out = Pool.forward(In);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_FLOAT_EQ(Out[0], -2e30f);
+  Tensor G({1, 1, 1});
+  G[0] = 1.0f;
+  Tensor GI = Pool.backward(G);
+  EXPECT_FLOAT_EQ(GI[3], 1.0f);
+  EXPECT_FLOAT_EQ(GI[0], 0.0f);
+
+  // Batched path agrees.
+  Tensor InB = In.reshaped({1, 1, 2, 2});
+  Tensor OutB = Pool.forwardBatch(InB);
+  EXPECT_FLOAT_EQ(OutB[0], -2e30f);
+}
