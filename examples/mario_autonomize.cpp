@@ -48,6 +48,14 @@ int main(int Argc, char **Argv) {
     std::printf(" %s", F.c_str());
   std::printf("\n\n");
 
+  // Intern every name once, outside the game loop: the per-frame
+  // primitives then run on dense handles (the DESIGN.md §7 hot path).
+  NameId Mario = RT.intern("Mario");
+  WriteBackHandle Output{RT.intern("output"), 5};
+  std::vector<NameId> FeatureIds;
+  for (const std::string &F : Features)
+    FeatureIds.push_back(RT.intern(F));
+
   RT.checkpoints().registerObject(&Game);
   Game.reset(0x4d00);
   RT.checkpoint(); // Fig. 2 line 27 (once; restores return here).
@@ -58,15 +66,14 @@ int main(int Argc, char **Argv) {
   while (Steps < TrainSteps) { // gameLoop() (Fig. 2 lines 24-50).
     // au_extract for each annotated variable (lines 9-10, 17, 21-22).
     std::vector<Feature> Fs = Game.features();
-    for (const std::string &Name : Features)
-      RT.extract(Name, featureValue(Fs, Name));
+    for (size_t I = 0; I != Features.size(); ++I)
+      RT.extract(FeatureIds[I], featureValue(Fs, Features[I]));
 
     // au_NN with the serialized state, reward and terminal flag
     // (lines 40-43), then au_write_back of the action key (line 44).
-    RT.nn("Mario", RT.serialize(Features), Reward, Terminated,
-          {"output", 5});
+    RT.nn(Mario, RT.serialize(FeatureIds), Reward, Terminated, Output);
     int ActionKey = 0;
-    RT.writeBack("output", 5, &ActionKey);
+    RT.writeBack(Output.Name, 5, &ActionKey);
 
     if (Terminated) { // Line 48: au_restore at ending states.
       ++Episodes;
@@ -107,11 +114,11 @@ int main(int Argc, char **Argv) {
     int EpSteps = 0;
     while (!Game.terminal() && EpSteps++ < 600) {
       std::vector<Feature> Fs = Game.features();
-      for (const std::string &Name : Features)
-        RT.extract(Name, featureValue(Fs, Name));
-      RT.nn("Mario", RT.serialize(Features), 0.0f, false, {"output", 5});
+      for (size_t I = 0; I != Features.size(); ++I)
+        RT.extract(FeatureIds[I], featureValue(Fs, Features[I]));
+      RT.nn(Mario, RT.serialize(FeatureIds), 0.0f, false, Output);
       int ActionKey = 0;
-      RT.writeBack("output", 5, &ActionKey);
+      RT.writeBack(Output.Name, 5, &ActionKey);
       Game.step(ActionKey);
     }
     Progress += Game.progress();

@@ -301,12 +301,19 @@ Image CannyExperiment::runAnnotated(Runtime &RT, const CannyScene &Scene,
 
   CannyParams P = TrainParams;
 
+  // Interned handles for the per-frame primitives (idempotent; the hot
+  // path below is then string-free).
+  NameId SigmaNN = RT.intern("SigmaNN"), ThreshNN = RT.intern("ThreshNN");
+  NameId Img = RT.intern("IMG");
+  WriteBackHandle SigmaOut{RT.intern("SIGMA"), 1};
+  WriteBackHandle LoOut{RT.intern("LO"), 1}, HiOut{RT.intern("HI"), 1};
+
   // 1. Gaussian smoothing: predict sigma from the (downsampled) image.
   Image Small = resize(Scene.Input, CannyFeatureSide, CannyFeatureSide);
-  RT.extract("IMG", Small.size(), Small.data().data());
-  RT.nn("SigmaNN", "IMG", {{"SIGMA", 1}});
+  RT.extract(Img, Small.size(), Small.data().data());
+  RT.nn(SigmaNN, Img, {SigmaOut});
   float SigmaV = static_cast<float>(P.Sigma);
-  RT.writeBack("SIGMA", 1, &SigmaV);
+  RT.writeBack(SigmaOut.Name, 1, &SigmaV);
   P.Sigma = clamp(SigmaV, 0.6, 3.0);
 
   // 2. Run the pipeline up to the histogram with the default parameters —
@@ -316,15 +323,15 @@ Image CannyExperiment::runAnnotated(Runtime &RT, const CannyScene &Scene,
   CannyTrace Trace;
   cannyDetect(Scene.Input, CannyParams(), &Trace);
   std::vector<float> Feat = thresholdFeature(Scene, Trace, Pick);
-  const char *FeatName = Pick == SlPick::Min
-                             ? "HIST"
-                             : (Pick == SlPick::Med ? "SIMG" : "RAWIMG");
-  RT.extract(FeatName, Feat.size(), Feat.data());
-  RT.nn("ThreshNN", FeatName, {{"LO", 1}, {"HI", 1}});
+  NameId FeatId = RT.intern(Pick == SlPick::Min
+                                ? "HIST"
+                                : (Pick == SlPick::Med ? "SIMG" : "RAWIMG"));
+  RT.extract(FeatId, Feat.size(), Feat.data());
+  RT.nn(ThreshNN, FeatId, {LoOut, HiOut});
   float LoV = static_cast<float>(P.LoFrac);
   float HiV = static_cast<float>(P.HiFrac);
-  RT.writeBack("LO", 1, &LoV);
-  RT.writeBack("HI", 1, &HiV);
+  RT.writeBack(LoOut.Name, 1, &LoV);
+  RT.writeBack(HiOut.Name, 1, &HiV);
   P.LoFrac = clamp(LoV, 0.1, 0.95);
   P.HiFrac = clamp(HiV, 0.3, 0.985);
 

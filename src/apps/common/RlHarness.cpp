@@ -42,19 +42,69 @@ au::apps::selectRlFeatures(GameEnv &Env, double Epsilon1, double Epsilon2,
   return Usable;
 }
 
+namespace {
+/// Interned handles for one drive loop (DESIGN.md §7): names are resolved
+/// to NameIds once here, so the per-step extract/serialize/nn/write_back
+/// path neither hashes nor copies a string. Feature positions within
+/// Env.features() are resolved once too, replacing the per-step linear
+/// name search.
+struct RlHandles {
+  NameId Model = InvalidNameId;
+  NameId Img = InvalidNameId;
+  WriteBackHandle Output;
+  std::vector<NameId> Features;   ///< Parallel to Opt.FeatureNames.
+  std::vector<size_t> FeatureIdx; ///< Position in Env.features() (lazy).
+};
+} // namespace
+
+static RlHandles makeHandles(GameEnv &Env, Runtime &RT,
+                             const RlTrainOptions &Opt) {
+  RlHandles H;
+  H.Model = RT.intern(rlModelName(Env, Opt.Variant));
+  H.Output = {RT.intern("output"), Env.numActions()};
+  if (Opt.Variant == RlVariant::Raw) {
+    H.Img = RT.intern("IMG");
+    return H;
+  }
+  H.Features.reserve(Opt.FeatureNames.size());
+  for (const std::string &Name : Opt.FeatureNames)
+    H.Features.push_back(RT.intern(Name));
+  return H;
+}
+
 /// Runs the au_extract / au_serialize prologue of one loop iteration and
-/// returns the combined extraction name to feed au_NN.
-static std::string extractState(GameEnv &Env, Runtime &RT,
-                                const RlTrainOptions &Opt) {
+/// returns the combined extraction handle to feed au_NN. On the first call
+/// the feature positions within Env.features() are resolved and cached in
+/// \p H (the env must be reset by then), replacing the per-step linear name
+/// search of featureValue().
+static NameId extractState(GameEnv &Env, Runtime &RT,
+                           const RlTrainOptions &Opt, RlHandles &H) {
   if (Opt.Variant == RlVariant::Raw) {
     Image Frame = Env.renderFrame(Opt.FrameSide);
-    RT.extract("IMG", Frame.size(), Frame.data().data());
-    return "IMG";
+    RT.extract(H.Img, Frame.size(), Frame.data().data());
+    return H.Img;
   }
   std::vector<Feature> Fs = Env.features();
-  for (const std::string &Name : Opt.FeatureNames)
-    RT.extract(Name, featureValue(Fs, Name));
-  return RT.serialize(Opt.FeatureNames);
+  if (H.FeatureIdx.empty()) {
+    H.FeatureIdx.reserve(Opt.FeatureNames.size());
+    for (const std::string &Name : Opt.FeatureNames) {
+      size_t Idx = Fs.size();
+      for (size_t I = 0; I != Fs.size(); ++I)
+        if (Fs[I].first == Name) {
+          Idx = I;
+          break;
+        }
+      assert(Idx < Fs.size() &&
+             "selected feature not exposed by the env");
+      H.FeatureIdx.push_back(Idx);
+    }
+  }
+  for (size_t I = 0, E = H.Features.size(); I != E; ++I) {
+    assert(Fs[H.FeatureIdx[I]].first == Opt.FeatureNames[I] &&
+           "env feature order changed between steps");
+    RT.extract(H.Features[I], Fs[H.FeatureIdx[I]].second);
+  }
+  return RT.serialize(H.Features);
 }
 
 /// Configures (or finds) the model for this env/variant pair.
@@ -80,7 +130,7 @@ RlTrainResult au::apps::trainRl(GameEnv &Env, Runtime &RT,
   RlTrainResult Res;
   Res.ModelName = rlModelName(Env, Opt.Variant);
   Model *M = configureModel(Env, RT, Opt);
-  WriteBackSpec Output{"output", Env.numActions()};
+  RlHandles H = makeHandles(Env, RT, Opt);
 
   RT.checkpoints().registerObject(&Env);
   Env.reset(makeSeed(Opt.Seed, 0));
@@ -100,10 +150,10 @@ RlTrainResult au::apps::trainRl(GameEnv &Env, Runtime &RT,
   int EpisodeSteps = 0;
 
   while (Res.StepsRun < Opt.TrainSteps) {
-    std::string ExtName = extractState(Env, RT, Opt);
-    RT.nn(Res.ModelName, ExtName, Reward, Term, Output);
+    NameId ExtId = extractState(Env, RT, Opt, H);
+    RT.nn(H.Model, ExtId, Reward, Term, H.Output);
     int Action = 0;
-    RT.writeBack("output", Env.numActions(), &Action);
+    RT.writeBack(H.Output.Name, Env.numActions(), &Action);
 
     if (Term) {
       ++Res.Episodes;
@@ -148,9 +198,8 @@ RlTrainResult au::apps::trainRl(GameEnv &Env, Runtime &RT,
 RlEvalResult au::apps::evalRl(GameEnv &Env, Runtime &RT,
                               const RlTrainOptions &Opt, int Episodes) {
   assert(Episodes > 0 && "evaluation needs at least one episode");
-  std::string ModelName = rlModelName(Env, Opt.Variant);
-  assert(RT.getModel(ModelName) && "evaluating an unconfigured model");
-  WriteBackSpec Output{"output", Env.numActions()};
+  RlHandles H = makeHandles(Env, RT, Opt);
+  assert(RT.getModel(H.Model) && "evaluating an unconfigured model");
 
   // Evaluation must not disturb training: stash the env state and switch
   // the runtime to deployment mode for the duration.
@@ -167,10 +216,10 @@ RlEvalResult au::apps::evalRl(GameEnv &Env, Runtime &RT,
     int EpSteps = 0;
     while (!Env.terminal() && EpSteps < Opt.MaxEpisodeSteps) {
       Timer T;
-      std::string ExtName = extractState(Env, RT, Opt);
-      RT.nn(ModelName, ExtName, 0.0f, false, Output);
+      NameId ExtId = extractState(Env, RT, Opt, H);
+      RT.nn(H.Model, ExtId, 0.0f, false, H.Output);
       int Action = 0;
-      RT.writeBack("output", Env.numActions(), &Action);
+      RT.writeBack(H.Output.Name, Env.numActions(), &Action);
       Env.step(Action);
       StepTime += T.seconds();
       ++Steps;

@@ -25,22 +25,51 @@ void CheckpointManager::registerObject(Checkpointable *Obj) {
   Objects.push_back(Obj);
 }
 
-void CheckpointManager::checkpoint(const DatabaseStore &Db) {
-  RegionData.clear();
-  RegionData.reserve(Regions.size());
-  for (const Region &R : Regions) {
-    std::vector<uint8_t> Buf(R.Bytes);
-    std::memcpy(Buf.data(), R.Ptr, R.Bytes);
-    RegionData.push_back(std::move(Buf));
+void CheckpointManager::checkpoint(DatabaseStore &Db) {
+  const bool Delta = DirtyTracking && HasSnapshot;
+  LastCopies = 0;
+
+  // Regions: compare against the held copy and re-copy only on change
+  // (O(sigma) reads, O(Δ) writes; buffers are allocated once).
+  RegionData.resize(Regions.size());
+  for (size_t I = 0, E = Regions.size(); I != E; ++I) {
+    const Region &R = Regions[I];
+    std::vector<uint8_t> &Buf = RegionData[I];
+    if (!Delta || Buf.size() != R.Bytes) {
+      Buf.resize(R.Bytes);
+      std::memcpy(Buf.data(), R.Ptr, R.Bytes);
+      ++LastCopies;
+    } else if (std::memcmp(Buf.data(), R.Ptr, R.Bytes) != 0) {
+      std::memcpy(Buf.data(), R.Ptr, R.Bytes);
+      ++LastCopies;
+    }
   }
-  ObjectData.clear();
-  ObjectData.reserve(Objects.size());
-  for (Checkpointable *Obj : Objects) {
-    std::vector<uint8_t> Buf;
-    Obj->saveState(Buf);
-    ObjectData.push_back(std::move(Buf));
+
+  // Objects: re-serialized every time (an object cannot report dirtiness),
+  // but into their retained buffers, so the steady state allocates nothing.
+  ObjectData.resize(Objects.size());
+  for (size_t I = 0, E = Objects.size(); I != E; ++I) {
+    ObjectData[I].clear();
+    Objects[I]->saveState(ObjectData[I]);
   }
-  DbSnapshot = Db;
+
+  // pi: a slot whose generation stamp still matches the held snapshot is
+  // byte-identical to it — skip. New slots start at generation 0 and every
+  // mutation stamps a strictly positive store-wide counter, so a fresh
+  // bottom slot also matches its zero-initialized snapshot entry.
+  DbSnap.resize(Db.numSlots());
+  for (NameId Id = 0, E = static_cast<NameId>(DbSnap.size()); Id != E; ++Id) {
+    SlotSnap &Snap = DbSnap[Id];
+    uint64_t Gen = Db.slotGen(Id);
+    if (Delta && Snap.Gen == Gen)
+      continue;
+    Db.snapshotSlot(Id, Snap.Data, Snap.Mapped);
+    Snap.Gen = Gen;
+    ++LastCopies;
+  }
+  // Re-arm the store's lazy mutation stamping against this snapshot.
+  Db.markSnapshot();
+
   HasSnapshot = true;
 }
 
@@ -53,7 +82,20 @@ void CheckpointManager::restore(DatabaseStore &Db) {
     std::memcpy(Regions[I].Ptr, RegionData[I].data(), Regions[I].Bytes);
   for (size_t I = 0, E = Objects.size(); I != E; ++I)
     Objects[I]->loadState(ObjectData[I]);
-  Db = DbSnapshot;
+
+  // pi: rewind only slots mutated since the snapshot; their stamps wind
+  // back with the values so the next checkpoint sees them clean.
+  for (NameId Id = 0, E = static_cast<NameId>(DbSnap.size()); Id != E; ++Id) {
+    const SlotSnap &Snap = DbSnap[Id];
+    if (DirtyTracking && Db.slotGen(Id) == Snap.Gen)
+      continue;
+    Db.restoreSlot(Id, Snap.Data, Snap.Mapped, Snap.Gen);
+  }
+  // Slots interned after the snapshot roll back to bottom.
+  for (NameId Id = static_cast<NameId>(DbSnap.size()),
+              E = static_cast<NameId>(Db.numSlots());
+       Id < E; ++Id)
+    Db.reset(Id);
 }
 
 size_t CheckpointManager::snapshotBytes() const {
@@ -62,6 +104,8 @@ size_t CheckpointManager::snapshotBytes() const {
     Bytes += Buf.size();
   for (const auto &Buf : ObjectData)
     Bytes += Buf.size();
-  Bytes += DbSnapshot.totalValues() * sizeof(float);
+  for (const SlotSnap &Snap : DbSnap)
+    if (Snap.Mapped)
+      Bytes += Snap.Data.size() * sizeof(float);
   return Bytes;
 }

@@ -3,53 +3,245 @@
 #include "core/DatabaseStore.h"
 
 #include <cassert>
+#include <cstring>
 
 using namespace au;
 
+static const std::vector<float> EmptyList;
+
+void SerializedView::copyTo(float *Dst) const {
+  for (const Span &S : Spans) {
+    std::memcpy(Dst, S.Data, S.Len * sizeof(float));
+    Dst += S.Len;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Interning and slot access
+//===----------------------------------------------------------------------===//
+
+NameId DatabaseStore::intern(std::string_view Name) {
+  NameId Id = Names.intern(Name);
+  if (Id >= Slots.size())
+    Slots.resize(Names.size());
+  return Id;
+}
+
+//===----------------------------------------------------------------------===//
+// Handle-keyed primitives (the append/reset pair is inline in the header)
+//===----------------------------------------------------------------------===//
+
+const std::vector<float> &DatabaseStore::get(NameId Id) const {
+  const Slot &S = slot(Id);
+  if (!S.Mapped)
+    return EmptyList;
+  if (S.Lazy)
+    materialize(S);
+  return S.Data;
+}
+
+SerializedView DatabaseStore::view(NameId Id) const {
+  SerializedView V;
+  const Slot &S = slot(Id);
+  if (!S.Mapped)
+    return V;
+  if (!S.Lazy) {
+    if (!S.Data.empty())
+      V.Spans.push_back({S.Data.data(), S.Data.size()});
+    V.Total = S.Data.size();
+    return V;
+  }
+  V.Spans.reserve(S.Srcs.size());
+  for (const Slot::Src &Src : S.Srcs) {
+    const Slot &From = slot(Src.Id);
+    assert(From.WriteGen == Src.WriteGen &&
+           "serialize source mutated before the combined entry was consumed");
+    V.Spans.push_back({From.Data.data(), Src.Len});
+  }
+  V.Total = S.LazySize;
+  return V;
+}
+
+void DatabaseStore::materialize(const Slot &S) const {
+  assert(S.Lazy && "materializing a concrete slot");
+  // Gather into a scratch list first: source buffers must not alias the
+  // destination mid-copy (serialize() already rejects self-reference, this
+  // keeps the invariant local).
+  std::vector<float> Gathered;
+  Gathered.reserve(S.LazySize);
+  for (const Slot::Src &Src : S.Srcs) {
+    const Slot &From = slot(Src.Id);
+    assert(From.WriteGen == Src.WriteGen &&
+           "serialize source mutated before the combined entry was consumed");
+    Gathered.insert(Gathered.end(), From.Data.data(),
+                    From.Data.data() + Src.Len);
+  }
+  S.Data = std::move(Gathered);
+  S.Srcs.clear();
+  S.Lazy = false;
+  ++S.WriteGen;
+}
+
+void DatabaseStore::set(NameId Id, const float *Values, size_t N) {
+  Slot &S = slot(Id);
+  S.Data.assign(Values, Values + N);
+  S.Srcs.clear();
+  S.Lazy = false;
+  S.Mapped = true;
+  ++S.WriteGen;
+  touch(S);
+}
+
+void DatabaseStore::set(NameId Id, std::vector<float> Values) {
+  Slot &S = slot(Id);
+  S.Data = std::move(Values);
+  S.Srcs.clear();
+  S.Lazy = false;
+  S.Mapped = true;
+  ++S.WriteGen;
+  touch(S);
+}
+
+NameId DatabaseStore::combinedIdFor(const std::vector<NameId> &Ids) {
+  auto It = CombinedIds.find(Ids);
+  NameId Combined;
+  if (It != CombinedIds.end()) {
+    Combined = It->second;
+  } else {
+    std::string Name;
+    for (NameId Id : Ids)
+      Name += Names.name(Id);
+    Combined = intern(Name);
+    CombinedIds.emplace(Ids, Combined);
+  }
+  LastSerializeIds = Ids;
+  LastSerializeCombined = Combined;
+  return Combined;
+}
+
+//===----------------------------------------------------------------------===//
+// String-keyed shims
+//===----------------------------------------------------------------------===//
+
 void DatabaseStore::append(const std::string &Name,
                            const std::vector<float> &Values) {
-  std::vector<float> &List = Entries[Name];
-  List.insert(List.end(), Values.begin(), Values.end());
-  Appended += Values.size();
+  append(intern(Name), Values.data(), Values.size());
+}
+
+void DatabaseStore::append(const std::string &Name,
+                           std::vector<float> &&Values) {
+  NameId Id = intern(Name);
+  Slot &S = slot(Id);
+  size_t N = Values.size();
+  if (!S.Mapped) {
+    // Adopt the buffer wholesale: the common Runtime::nn output path hands
+    // over a freshly built vector, so this kills the per-step copy.
+    S.Data = std::move(Values);
+    S.Srcs.clear();
+    S.Lazy = false;
+    S.Mapped = true;
+    ++S.WriteGen;
+    touch(S);
+    Appended += N;
+    return;
+  }
+  append(Id, Values.data(), N);
 }
 
 void DatabaseStore::append(const std::string &Name, float Value) {
-  Entries[Name].push_back(Value);
-  ++Appended;
+  append(intern(Name), &Value, 1);
 }
 
 const std::vector<float> &DatabaseStore::get(const std::string &Name) const {
-  static const std::vector<float> Empty;
-  auto It = Entries.find(Name);
-  return It == Entries.end() ? Empty : It->second;
+  NameId Id = Names.find(Name);
+  return Id == InvalidNameId ? EmptyList : get(Id);
 }
 
 void DatabaseStore::set(const std::string &Name, std::vector<float> Values) {
-  Entries[Name] = std::move(Values);
+  set(intern(Name), std::move(Values));
 }
 
-void DatabaseStore::reset(const std::string &Name) { Entries.erase(Name); }
+void DatabaseStore::reset(const std::string &Name) {
+  NameId Id = Names.find(Name);
+  if (Id != InvalidNameId && Id < Slots.size())
+    reset(Id);
+}
 
 bool DatabaseStore::contains(const std::string &Name) const {
-  return Entries.count(Name) != 0;
+  NameId Id = Names.find(Name);
+  return Id != InvalidNameId && Id < Slots.size() && contains(Id);
 }
 
-std::string DatabaseStore::serialize(const std::vector<std::string> &Names) {
-  assert(!Names.empty() && "serialize of no lists");
-  std::string Combined;
-  std::vector<float> Values;
-  for (const std::string &N : Names) {
-    Combined += N;
-    const std::vector<float> &List = get(N);
-    Values.insert(Values.end(), List.begin(), List.end());
-  }
-  set(Combined, std::move(Values));
-  return Combined;
+std::string DatabaseStore::serialize(const std::vector<std::string> &Names_) {
+  assert(!Names_.empty() && "serialize of no lists");
+  std::vector<NameId> Ids;
+  Ids.reserve(Names_.size());
+  for (const std::string &N : Names_)
+    Ids.push_back(intern(N));
+  return nameOf(serialize(Ids));
+}
+
+std::string DatabaseStore::serialize(std::initializer_list<const char *> Ns) {
+  assert(Ns.size() > 0 && "serialize of no lists");
+  std::vector<NameId> Ids;
+  Ids.reserve(Ns.size());
+  for (const char *N : Ns)
+    Ids.push_back(intern(N));
+  return nameOf(serialize(Ids));
+}
+
+//===----------------------------------------------------------------------===//
+// Accounting and checkpoint support
+//===----------------------------------------------------------------------===//
+
+size_t DatabaseStore::numEntries() const {
+  size_t N = 0;
+  for (const Slot &S : Slots)
+    N += S.Mapped;
+  return N;
 }
 
 size_t DatabaseStore::totalValues() const {
   size_t N = 0;
-  for (const auto &[Name, List] : Entries)
-    N += List.size();
+  for (const Slot &S : Slots)
+    if (S.Mapped)
+      N += S.Lazy ? S.LazySize : S.Data.size();
   return N;
+}
+
+void DatabaseStore::clear() {
+  for (Slot &S : Slots) {
+    S.Data = {};
+    S.Srcs = {};
+    S.LazySize = 0;
+    S.Mapped = false;
+    S.Lazy = false;
+    ++S.WriteGen; // The retained bytes are gone: invalidate spans.
+    touch(S);     // And any checkpoint snapshot must re-copy the slot.
+  }
+}
+
+void DatabaseStore::snapshotSlot(NameId Id, std::vector<float> &Data,
+                                 bool &Mapped) const {
+  const Slot &S = slot(Id);
+  Mapped = S.Mapped;
+  if (!S.Mapped) {
+    Data.clear();
+    return;
+  }
+  if (S.Lazy)
+    materialize(S);
+  Data.assign(S.Data.begin(), S.Data.end());
+}
+
+void DatabaseStore::restoreSlot(NameId Id, const std::vector<float> &Data,
+                                bool Mapped, uint64_t Gen) {
+  Slot &S = slot(Id);
+  S.Data.assign(Data.begin(), Data.end());
+  S.Srcs.clear();
+  S.LazySize = 0;
+  S.Lazy = false;
+  S.Mapped = Mapped;
+  ++S.WriteGen;
+  S.Gen = Gen;
 }

@@ -201,6 +201,11 @@ std::vector<float> SlModel::predict(const std::vector<float> &X) {
   return Trainer->predict(X);
 }
 
+void SlModel::predictRows(const float *Xs, int Rows, std::vector<float> &Out) {
+  assert(Built && Trainer && "predicting with an unbuilt SL model");
+  Trainer->predictRowsInto(Xs, Rows, Out);
+}
+
 size_t SlModel::numSamples() const {
   return Trainer ? Trainer->numSamples() : 0;
 }
@@ -303,9 +308,16 @@ int RlModel::step(const std::vector<float> &State, float Reward, bool Terminal,
                   const WriteBackSpec &Output, bool Learning) {
   if (!Built)
     build(static_cast<int>(State.size()), Output);
+  return stepBuilt(State, Reward, Terminal, Output.Size, Learning);
+}
+
+int RlModel::stepBuilt(const std::vector<float> &State, float Reward,
+                       bool Terminal, int NumActions, bool Learning) {
+  assert(Built && "stepBuilt on an unbuilt RL model");
   assert(static_cast<int>(State.size()) == InSize &&
          "extracted state size changed between steps");
-  assert(Output.Size == Outs.front().Size && "action count changed");
+  assert(NumActions == Outs.front().Size && "action count changed");
+  (void)NumActions;
 
   if (HavePrev && Learning)
     Learner->observe(PrevState, PrevAction, Reward, State, Terminal);

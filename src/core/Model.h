@@ -103,6 +103,13 @@ public:
   /// (trained or loaded) model.
   std::vector<float> predict(const std::vector<float> &X);
 
+  /// Batched TS inference over \p Rows feature vectors stored back to back
+  /// in \p Xs (Rows x inputSize, row-major); \p Out receives Rows x
+  /// totalOutputSize predictions. Routes through the batched forwardBatch
+  /// engine with reusable staging, so the primitive hot path makes no
+  /// per-call allocations. Rows == 1 is the single-call au_NN fast path.
+  void predictRows(const float *Xs, int Rows, std::vector<float> &Out);
+
   size_t numSamples() const;
   size_t modelSizeBytes() override;
   size_t numParams() override;
@@ -133,6 +140,12 @@ public:
   /// episode bookkeeping so a following au_restore starts cleanly.
   int step(const std::vector<float> &State, float Reward, bool Terminal,
            const WriteBackSpec &Output, bool Learning);
+
+  /// Hot-path step for an already built model: identical to step() but
+  /// takes only the action count, so the handle-keyed au_NN never
+  /// constructs a string spec per iteration.
+  int stepBuilt(const std::vector<float> &State, float Reward, bool Terminal,
+                int NumActions, bool Learning);
 
   /// Q-values for diagnostics.
   std::vector<float> qValues(const std::vector<float> &State);

@@ -1,0 +1,94 @@
+//===- core/NameTable.h - Interned feature/model names ---------*- C++ -*-===//
+//
+// Part of the Autonomizer reproduction (PLDI '19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name interning for the primitive hot path. The operational semantics
+/// (Fig. 8) keys the database store pi and the model store theta by strings;
+/// paying a string hash (or worse, a string concatenation) on every
+/// au_extract / au_serialize / au_NN call dominates the per-iteration
+/// overhead once the model math is fast. A NameTable interns each name
+/// exactly once into a dense NameId; all hot-path structures are then plain
+/// vectors indexed by NameId, and the string APIs remain thin forwarding
+/// shims that intern on entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AU_CORE_NAMETABLE_H
+#define AU_CORE_NAMETABLE_H
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace au {
+
+/// Dense handle for an interned name. Ids are stable for the lifetime of
+/// their NameTable and start at 0, so they double as vector indices.
+using NameId = uint32_t;
+
+/// "This name was never interned."
+inline constexpr NameId InvalidNameId = 0xffffffffu;
+
+/// Bidirectional string <-> NameId interner. Interning is append-only:
+/// names are never removed, so a NameId stays valid (and its string
+/// reference stable) forever.
+class NameTable {
+public:
+  /// Returns the id of \p Name, interning it first if needed.
+  NameId intern(std::string_view Name) {
+    auto It = Ids.find(Name);
+    if (It != Ids.end())
+      return It->second;
+    NameId Id = static_cast<NameId>(Names.size());
+    Names.emplace_back(Name);
+    Ids.emplace(Names.back(), Id);
+    return Id;
+  }
+
+  /// The id of \p Name, or InvalidNameId when it was never interned.
+  NameId find(std::string_view Name) const {
+    auto It = Ids.find(Name);
+    return It == Ids.end() ? InvalidNameId : It->second;
+  }
+
+  /// The string a NameId was interned from.
+  const std::string &name(NameId Id) const {
+    assert(Id < Names.size() && "NameId out of range");
+    return Names[Id];
+  }
+
+  /// Number of interned names (== the smallest unused NameId).
+  size_t size() const { return Names.size(); }
+
+private:
+  /// Transparent hashing so find/intern of a string_view never allocates.
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view S) const {
+      return std::hash<std::string_view>{}(S);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view A, std::string_view B) const {
+      return A == B;
+    }
+  };
+
+  /// Deque, not vector: name() hands out references that the contract
+  /// keeps stable across later interning, so growth must never move the
+  /// strings.
+  std::deque<std::string> Names;
+  std::unordered_map<std::string, NameId, Hash, Eq> Ids;
+};
+
+} // namespace au
+
+#endif // AU_CORE_NAMETABLE_H

@@ -37,114 +37,218 @@ Model *Runtime::config(const ModelConfig &C) {
   }
   Model *Raw = M.get();
   Models.emplace(C.Name, std::move(M));
+
+  // Register the handle route: model names live in the same table as
+  // database names, so nn(NameId, ...) indexes theta directly.
+  NameId Id = Db.intern(C.Name);
+  if (Id >= ModelById.size())
+    ModelById.resize(Id + 1, nullptr);
+  ModelById[Id] = Raw;
   return Raw;
+}
+
+//===----------------------------------------------------------------------===//
+// au_extract
+//===----------------------------------------------------------------------===//
+
+void Runtime::extract(NameId Id, size_t Size, const double *Data) {
+  assert(Data || Size == 0);
+  ++Stats.NumExtract;
+  Stats.FloatsExtracted += Size;
+  ConvStaging.resize(Size);
+  for (size_t I = 0; I != Size; ++I)
+    ConvStaging[I] = static_cast<float>(Data[I]);
+  Db.append(Id, ConvStaging.data(), Size);
 }
 
 void Runtime::extract(const std::string &Name, size_t Size,
                       const float *Data) {
-  assert(Data || Size == 0);
-  ++Stats.NumExtract;
-  Stats.FloatsExtracted += Size;
-  Db.append(Name, std::vector<float>(Data, Data + Size));
+  extract(Db.intern(Name), Size, Data);
 }
 
 void Runtime::extract(const std::string &Name, size_t Size,
                       const double *Data) {
-  assert(Data || Size == 0);
-  ++Stats.NumExtract;
-  Stats.FloatsExtracted += Size;
-  std::vector<float> Vals(Size);
-  for (size_t I = 0; I != Size; ++I)
-    Vals[I] = static_cast<float>(Data[I]);
-  Db.append(Name, Vals);
+  extract(Db.intern(Name), Size, Data);
 }
 
 void Runtime::extract(const std::string &Name, float Value) {
-  ++Stats.NumExtract;
-  ++Stats.FloatsExtracted;
-  Db.append(Name, Value);
+  extract(Db.intern(Name), Value);
 }
+
+//===----------------------------------------------------------------------===//
+// au_serialize
+//===----------------------------------------------------------------------===//
 
 std::string Runtime::serialize(const std::vector<std::string> &Names) {
-  ++Stats.NumSerialize;
-  std::string Combined = Db.serialize(Names);
-  // Consume the constituent lists: they have been moved into the combined
-  // list. (Fig. 8's SERIALIZE leaves them mapped, but its TRAIN/TEST rules
-  // only reset the combined extName — without this refinement the model
-  // input would grow without bound across loop iterations.)
+  std::vector<NameId> Ids;
+  Ids.reserve(Names.size());
   for (const std::string &N : Names)
-    if (N != Combined)
-      Db.reset(N);
-  return Combined;
+    Ids.push_back(Db.intern(N));
+  return Db.nameOf(serialize(Ids));
 }
 
-void Runtime::nn(const std::string &ModelName, const std::string &ExtName,
-                 const std::vector<WriteBackSpec> &Outputs) {
+std::string Runtime::serialize(std::initializer_list<const char *> Names) {
+  std::vector<NameId> Ids;
+  Ids.reserve(Names.size());
+  for (const char *N : Names)
+    Ids.push_back(Db.intern(N));
+  return Db.nameOf(serialize(Ids));
+}
+
+//===----------------------------------------------------------------------===//
+// au_NN
+//===----------------------------------------------------------------------===//
+
+void Runtime::nn(NameId ModelId, NameId ExtId,
+                 const std::vector<WriteBackHandle> &Outputs) {
   ++Stats.NumNn;
-  Model *M = getModel(ModelName);
+  Model *M = getModel(ModelId);
   assert(M && "au_NN on an unconfigured model");
   auto *Sl = static_cast<SlModel *>(M);
   assert(SlModel::classof(M) && "supervised au_NN form on an RL model");
   assert(!Outputs.empty() && "au_NN must declare at least one output");
 
-  std::vector<float> X = Db.get(ExtName);
-  assert(!X.empty() && "au_NN with an empty feature list");
+  SerializedView V = Db.view(ExtId);
+  assert(V.size() > 0 && "au_NN with an empty feature list");
 
-  for (const WriteBackSpec &O : Outputs)
-    WbOwner[O.Name] = ModelName;
+  for (const WriteBackHandle &O : Outputs)
+    setWbOwner(O.Name, ModelId);
 
   if (ExecMode == Mode::TR) {
     // Training is offline for SL: remember the features; the labels arrive
     // through the write-backs of this loop iteration.
-    Pending.push_back({ModelName, std::move(X), Outputs, {}});
+    PendingSample P;
+    P.ModelId = ModelId;
+    P.X.resize(V.size());
+    V.copyTo(P.X.data());
+    P.Outputs = Outputs;
+    Pending.push_back(std::move(P));
   } else {
-    // Rule TEST: run the model and put the outputs into pi.
-    std::vector<float> Y = Sl->predict(X);
+    // Rule TEST: gather the spans into the staging buffer, run one
+    // forwardBatch row, and scatter the predictions into pi.
+    NnStaging.resize(V.size());
+    V.copyTo(NnStaging.data());
+    Sl->predictRows(NnStaging.data(), /*Rows=*/1, NnOut);
     size_t Offset = 0;
-    for (const WriteBackSpec &O : Outputs) {
-      assert(Offset + O.Size <= Y.size() && "declared outputs exceed model");
-      Db.set(O.Name, std::vector<float>(Y.begin() + Offset,
-                                        Y.begin() + Offset + O.Size));
+    for (const WriteBackHandle &O : Outputs) {
+      assert(Offset + O.Size <= NnOut.size() &&
+             "declared outputs exceed model");
+      Db.set(O.Name, NnOut.data() + Offset, O.Size);
       Offset += O.Size;
     }
   }
   // Both TRAIN and TEST reset the model-input list (extName -> bottom).
-  Db.reset(ExtName);
+  Db.reset(ExtId);
 }
 
-void Runtime::nn(const std::string &ModelName, const std::string &ExtName,
-                 float Reward, bool Terminal, const WriteBackSpec &Output) {
+void Runtime::nn(NameId ModelId, NameId ExtId, float Reward, bool Terminal,
+                 const WriteBackHandle &Output) {
   ++Stats.NumNn;
-  Model *M = getModel(ModelName);
+  Model *M = getModel(ModelId);
   assert(M && "au_NN on an unconfigured model");
   assert(RlModel::classof(M) && "RL au_NN form on a supervised model");
   auto *Rl = static_cast<RlModel *>(M);
 
-  std::vector<float> State = Db.get(ExtName);
-  assert(!State.empty() && "au_NN with an empty state list");
+  SerializedView V = Db.view(ExtId);
+  assert(V.size() > 0 && "au_NN with an empty state list");
+  NnStaging.resize(V.size());
+  V.copyTo(NnStaging.data());
 
-  WbOwner[Output.Name] = ModelName;
+  setWbOwner(Output.Name, ModelId);
   bool Learning = ExecMode == Mode::TR;
-  int Action = Rl->step(State, Reward, Terminal, Output, Learning);
-  Db.set(Output.Name, {static_cast<float>(Action)});
-  Db.reset(ExtName);
+  int Action;
+  if (M->isBuilt()) {
+    Action = Rl->stepBuilt(NnStaging, Reward, Terminal, Output.Size, Learning);
+  } else {
+    // First step: the model builds from the state size and the output's
+    // string spec (persistence stores output names). Cold path only.
+    WriteBackSpec Spec{Db.nameOf(Output.Name), Output.Size};
+    Action = Rl->step(NnStaging, Reward, Terminal, Spec, Learning);
+  }
+  float ActionF = static_cast<float>(Action);
+  Db.set(Output.Name, &ActionF, 1);
+  Db.reset(ExtId);
 }
+
+void Runtime::nnBatch(NameId ModelId, NameId ExtId, int Rows,
+                      const std::vector<WriteBackHandle> &Outputs) {
+  ++Stats.NumNn;
+  assert(ExecMode == Mode::TS && "nnBatch is a deployment-mode primitive");
+  assert(Rows > 0 && "nnBatch of no rows");
+  Model *M = getModel(ModelId);
+  assert(M && "au_NN on an unconfigured model");
+  auto *Sl = static_cast<SlModel *>(M);
+  assert(SlModel::classof(M) && "supervised au_NN form on an RL model");
+  assert(!Outputs.empty() && "au_NN must declare at least one output");
+
+  SerializedView V = Db.view(ExtId);
+  assert(V.size() > 0 && V.size() % Rows == 0 &&
+         "pi[ExtId] does not hold Rows equal-size feature vectors");
+
+  for (const WriteBackHandle &O : Outputs)
+    setWbOwner(O.Name, ModelId);
+
+  NnStaging.resize(V.size());
+  V.copyTo(NnStaging.data());
+  Sl->predictRows(NnStaging.data(), Rows, NnOut);
+
+  const size_t NY = NnOut.size() / Rows;
+  size_t Offset = 0;
+  for (const WriteBackHandle &O : Outputs) {
+    assert(Offset + O.Size <= NY && "declared outputs exceed model");
+    ScatterBuf.resize(static_cast<size_t>(Rows) * O.Size);
+    for (int R = 0; R != Rows; ++R)
+      std::copy_n(NnOut.data() + R * NY + Offset, O.Size,
+                  ScatterBuf.data() + static_cast<size_t>(R) * O.Size);
+    Db.set(O.Name, ScatterBuf.data(), ScatterBuf.size());
+    Offset += O.Size;
+  }
+  Db.reset(ExtId);
+}
+
+void Runtime::nn(const std::string &ModelName, const std::string &ExtName,
+                 const std::vector<WriteBackSpec> &Outputs) {
+  std::vector<WriteBackHandle> Handles;
+  Handles.reserve(Outputs.size());
+  for (const WriteBackSpec &O : Outputs)
+    Handles.push_back({Db.intern(O.Name), O.Size});
+  nn(Db.intern(ModelName), Db.intern(ExtName), Handles);
+}
+
+void Runtime::nn(const std::string &ModelName, const std::string &ExtName,
+                 float Reward, bool Terminal, const WriteBackSpec &Output) {
+  nn(Db.intern(ModelName), Db.intern(ExtName), Reward, Terminal,
+     {Db.intern(Output.Name), Output.Size});
+}
+
+//===----------------------------------------------------------------------===//
+// au_write_back
+//===----------------------------------------------------------------------===//
 
 void Runtime::completePendingIfReady(PendingSample &P) {
   if (P.Labels.size() != P.Outputs.size())
     return;
   std::vector<float> Y;
-  for (const WriteBackSpec &O : P.Outputs) {
-    const std::vector<float> &L = P.Labels[O.Name];
-    assert(static_cast<int>(L.size()) == O.Size && "label arity mismatch");
-    Y.insert(Y.end(), L.begin(), L.end());
+  std::vector<WriteBackSpec> Specs;
+  Specs.reserve(P.Outputs.size());
+  for (const WriteBackHandle &O : P.Outputs) {
+    const std::vector<float> *L = nullptr;
+    for (const auto &[Id, Vals] : P.Labels)
+      if (Id == O.Name) {
+        L = &Vals;
+        break;
+      }
+    assert(L && static_cast<int>(L->size()) == O.Size &&
+           "label arity mismatch");
+    Y.insert(Y.end(), L->begin(), L->end());
+    Specs.push_back({Db.nameOf(O.Name), O.Size});
   }
-  auto *Sl = static_cast<SlModel *>(getModel(P.ModelName));
+  auto *Sl = static_cast<SlModel *>(getModel(P.ModelId));
   assert(Sl && "pending sample for a vanished model");
-  Sl->addSample(P.X, Y, P.Outputs);
+  Sl->addSample(P.X, Y, Specs);
 }
 
-void Runtime::writeBack(const std::string &Name, size_t Size, float *Data) {
+void Runtime::writeBack(NameId Id, size_t Size, float *Data) {
   ++Stats.NumWriteBack;
   assert(Data && Size > 0 && "invalid write-back destination");
 
@@ -156,11 +260,14 @@ void Runtime::writeBack(const std::string &Name, size_t Size, float *Data) {
       PendingSample &P = *It;
       bool Declared =
           std::any_of(P.Outputs.begin(), P.Outputs.end(),
-                      [&](const WriteBackSpec &O) { return O.Name == Name; });
-      if (!Declared || P.Labels.count(Name))
+                      [&](const WriteBackHandle &O) { return O.Name == Id; });
+      bool Labeled =
+          std::any_of(P.Labels.begin(), P.Labels.end(),
+                      [&](const auto &KV) { return KV.first == Id; });
+      if (!Declared || Labeled)
         continue;
-      P.Labels[Name] = std::vector<float>(Data, Data + Size);
-      Db.set(Name, P.Labels[Name]);
+      P.Labels.emplace_back(Id, std::vector<float>(Data, Data + Size));
+      Db.set(Id, Data, Size);
       completePendingIfReady(P);
       if (P.Labels.size() == P.Outputs.size())
         Pending.erase(std::next(It).base());
@@ -171,37 +278,59 @@ void Runtime::writeBack(const std::string &Name, size_t Size, float *Data) {
   }
 
   // Rule WRITE-BACK: pi[Name] -> program variable.
-  const std::vector<float> &Vals = Db.get(Name);
+  const std::vector<float> &Vals = Db.get(Id);
   assert(Vals.size() >= Size && "write-back of more values than predicted");
   std::copy(Vals.begin(), Vals.begin() + Size, Data);
 }
 
-void Runtime::writeBack(const std::string &Name, size_t Size, double *Data) {
-  std::vector<float> Tmp(Size);
+void Runtime::writeBack(NameId Id, size_t Size, double *Data) {
+  ConvStaging.resize(Size);
   if (ExecMode == Mode::TR)
     for (size_t I = 0; I != Size; ++I)
-      Tmp[I] = static_cast<float>(Data[I]);
-  writeBack(Name, Size, Tmp.data());
+      ConvStaging[I] = static_cast<float>(Data[I]);
+  writeBack(Id, Size, ConvStaging.data());
   if (ExecMode == Mode::TS)
     for (size_t I = 0; I != Size; ++I)
-      Data[I] = Tmp[I];
+      Data[I] = ConvStaging[I];
 }
 
-void Runtime::writeBack(const std::string &Name, int NumActions,
-                        int *ActionKey) {
+void Runtime::writeBack(NameId Id, int NumActions, int *ActionKey) {
   ++Stats.NumWriteBack;
   assert(ActionKey && "invalid write-back destination");
-  auto OwnerIt = WbOwner.find(Name);
-  assert(OwnerIt != WbOwner.end() && "write-back before any au_NN");
-  [[maybe_unused]] Model *M = getModel(OwnerIt->second);
+  NameId Owner = wbOwner(Id);
+  assert(Owner != InvalidNameId && "write-back before any au_NN");
+  [[maybe_unused]] Model *M = getModel(Owner);
   assert(M && RlModel::classof(M) && "action write-back on non-RL model");
   assert(M->outputs().front().Size == NumActions &&
          "action count disagrees with the au_NN declaration");
   (void)NumActions;
-  const std::vector<float> &Vals = Db.get(Name);
+  const std::vector<float> &Vals = Db.get(Id);
   assert(!Vals.empty() && "no predicted action in the database store");
   *ActionKey = static_cast<int>(Vals.front());
 }
+
+void Runtime::writeBack(const std::string &Name, size_t Size, float *Data) {
+  writeBack(Db.intern(Name), Size, Data);
+}
+
+void Runtime::writeBack(const std::string &Name, size_t Size, double *Data) {
+  writeBack(Db.intern(Name), Size, Data);
+}
+
+void Runtime::writeBack(const std::string &Name, int NumActions,
+                        int *ActionKey) {
+  writeBack(Db.intern(Name), NumActions, ActionKey);
+}
+
+void Runtime::setWbOwner(NameId Out, NameId ModelId) {
+  if (Out >= WbOwner.size())
+    WbOwner.resize(Out + 1, InvalidNameId);
+  WbOwner[Out] = ModelId;
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint / restore and model management
+//===----------------------------------------------------------------------===//
 
 void Runtime::checkpoint() {
   ++Stats.NumCheckpoint;

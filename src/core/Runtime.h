@@ -29,6 +29,23 @@
 ///   }
 /// \endcode
 ///
+/// Every primitive also has a handle-keyed overload (DESIGN.md §7): intern
+/// the names once before the loop with intern() and pass the dense NameIds
+/// instead of strings. The two forms are observationally equivalent — same
+/// pi contents, same stats — but the handle form neither hashes nor copies
+/// a string per call and gathers model inputs through zero-copy serialize
+/// spans into a reusable staging buffer:
+///
+/// \code
+///   au::NameId PX = RT.intern("PX"), PY = RT.intern("PY");
+///   au::NameId Mario = RT.intern("Mario"), Out = RT.intern("output");
+///   ...
+///   RT.extract(PX, Player.X);
+///   RT.extract(PY, Player.Y);
+///   RT.nn(Mario, RT.serialize({PX, PY}), Reward, Terminated, {Out, 5});
+///   RT.writeBack(Out, 5, &ActionKey);
+/// \endcode
+///
 /// In TR (training) mode the runtime piggybacks learning on the execution:
 /// supervised models record the program's own (human/autotuner-chosen)
 /// target values at au_write_back as labels and train offline via
@@ -46,6 +63,7 @@
 #include "core/DatabaseStore.h"
 #include "core/Model.h"
 
+#include <cassert>
 #include <map>
 #include <memory>
 #include <string>
@@ -69,6 +87,14 @@ struct RuntimeStats {
   size_t traceBytes() const { return FloatsExtracted * sizeof(float); }
 };
 
+/// Handle-keyed counterpart of WriteBackSpec: one declared output under an
+/// interned name. For SL the number of predicted floats; for RL the number
+/// of discrete actions.
+struct WriteBackHandle {
+  NameId Name = InvalidNameId;
+  int Size = 1;
+};
+
 /// The Autonomizer runtime. One instance supports multiple model instances
 /// in one execution, as the paper requires.
 class Runtime {
@@ -83,6 +109,12 @@ public:
   /// model without a save/load round trip). The semantics fixes the mode
   /// per execution; this is a harness convenience.
   void switchMode(Mode M) { ExecMode = M; }
+
+  /// Interns \p Name into the store's name table (idempotent) and returns
+  /// the dense handle accepted by every primitive overload below. Model
+  /// names and database names share one table, so the handle returned for
+  /// a configured model's name keys nn()/getModel() too.
+  NameId intern(std::string_view Name) { return Db.intern(Name); }
 
   //===--------------------------------------------------------------------===//
   // Primitives
@@ -103,9 +135,46 @@ public:
     extract(Name, static_cast<float>(Value));
   }
 
+  /// au_extract over handles: appends straight into the retained slot
+  /// buffer — no string hash, no temporary vector. Defined inline: this is
+  /// the most frequent primitive of the annotated loop.
+  void extract(NameId Id, size_t Size, const float *Data) {
+    assert(Data || Size == 0);
+    ++Stats.NumExtract;
+    Stats.FloatsExtracted += Size;
+    Db.append(Id, Data, Size);
+  }
+  void extract(NameId Id, size_t Size, const double *Data);
+  void extract(NameId Id, float Value) {
+    ++Stats.NumExtract;
+    ++Stats.FloatsExtracted;
+    Db.append(Id, Value);
+  }
+  void extract(NameId Id, double Value) {
+    extract(Id, static_cast<float>(Value));
+  }
+  void extract(NameId Id, int Value) { extract(Id, static_cast<float>(Value)); }
+
   /// au_serialize: Rule SERIALIZE concatenates lists (and names); returns
   /// the combined name to pass to nn().
   std::string serialize(const std::vector<std::string> &Names);
+  /// Disambiguates serialize({"A", "B"}) (see DatabaseStore::serialize).
+  std::string serialize(std::initializer_list<const char *> Names);
+
+  /// au_serialize over handles: records the concatenation as zero-copy
+  /// spans (no float moves) and returns the combined handle, cached per
+  /// id-vector after the first call. Defined inline: runs once per loop
+  /// iteration right after the extracts.
+  NameId serialize(const std::vector<NameId> &Ids) {
+    ++Stats.NumSerialize;
+    // The constituent lists are consumed: they have been moved into the
+    // combined list. (Fig. 8's SERIALIZE leaves them mapped, but its
+    // TRAIN/TEST rules only reset the combined extName — without this
+    // refinement the model input would grow without bound across loop
+    // iterations.) The consume keeps the slot bytes, so the combined
+    // entry's zero-copy spans stay valid.
+    return Db.serialize(Ids, /*Consume=*/true);
+  }
 
   /// au_NN, supervised form: consumes pi[ExtName] as the feature vector and
   /// declares the outputs this model predicts. TR records a pending sample
@@ -120,6 +189,22 @@ public:
   void nn(const std::string &ModelName, const std::string &ExtName,
           float Reward, bool Terminal, const WriteBackSpec &Output);
 
+  /// Handle-keyed au_NN forms. The feature/state list is gathered from the
+  /// serialize spans into a reusable staging buffer and, in TS mode, fed
+  /// through the batched forwardBatch engine (Rows = 1), so the steady
+  /// state allocates nothing per call.
+  void nn(NameId ModelId, NameId ExtId,
+          const std::vector<WriteBackHandle> &Outputs);
+  void nn(NameId ModelId, NameId ExtId, float Reward, bool Terminal,
+          const WriteBackHandle &Output);
+
+  /// Batched TS-mode au_NN: pi[ExtId] holds \p Rows feature vectors back to
+  /// back; one forwardBatch call predicts all of them and each declared
+  /// output receives its Rows x Size predictions concatenated row-major.
+  /// Deployment-mode only (TR samples are labeled per iteration).
+  void nnBatch(NameId ModelId, NameId ExtId, int Rows,
+               const std::vector<WriteBackHandle> &Outputs);
+
   /// au_write_back: Rule WRITE-BACK copies pi[Name] into the program
   /// variable. In TR mode, supervised outputs flow the opposite way: the
   /// program's current values are recorded as the training label.
@@ -130,6 +215,11 @@ public:
   /// "the value 5 means there are 5 possible actions"); the predicted
   /// action index is stored into *ActionKey.
   void writeBack(const std::string &Name, int NumActions, int *ActionKey);
+
+  /// Handle-keyed write-backs.
+  void writeBack(NameId Id, size_t Size, float *Data);
+  void writeBack(NameId Id, size_t Size, double *Data);
+  void writeBack(NameId Id, int NumActions, int *ActionKey);
 
   /// au_checkpoint: Rule CHECKPOINT snapshots registered program state and
   /// pi; model state theta is deliberately excluded.
@@ -149,6 +239,9 @@ public:
 
   /// Looks up a configured model; null when absent.
   Model *getModel(const std::string &Name);
+  Model *getModel(NameId Id) {
+    return Id < ModelById.size() ? ModelById[Id] : nullptr;
+  }
 
   /// Offline supervised training over the samples collected in TR mode.
   /// Returns the final epoch's mean loss.
@@ -165,22 +258,36 @@ public:
 private:
   /// An SL au_NN whose labels have not all arrived yet (TR mode).
   struct PendingSample {
-    std::string ModelName;
+    NameId ModelId = InvalidNameId;
     std::vector<float> X;
-    std::vector<WriteBackSpec> Outputs;
-    std::map<std::string, std::vector<float>> Labels;
+    std::vector<WriteBackHandle> Outputs;
+    /// (output id, label values); small, searched linearly.
+    std::vector<std::pair<NameId, std::vector<float>>> Labels;
   };
 
   void completePendingIfReady(PendingSample &P);
+  void setWbOwner(NameId Out, NameId ModelId);
+  NameId wbOwner(NameId Out) const {
+    return Out < WbOwner.size() ? WbOwner[Out] : InvalidNameId;
+  }
 
   Mode ExecMode;
   std::string ModelDir;
   DatabaseStore Db;
   CheckpointManager Ckpt;
   std::map<std::string, std::unique_ptr<Model>> Models; // theta
-  std::map<std::string, std::string> WbOwner; // wbName -> model name
+  std::vector<Model *> ModelById;  ///< NameId -> model (theta over handles).
+  std::vector<NameId> WbOwner;     ///< Output id -> owning model id.
   std::vector<PendingSample> Pending;
   RuntimeStats Stats;
+
+  // Reusable hot-path staging (DESIGN.md §7): model inputs gathered from
+  // serialize spans, batched predictions, per-output scatter, and numeric
+  // conversions. Capacity warms up once; the loop allocates nothing.
+  std::vector<float> NnStaging;
+  std::vector<float> NnOut;
+  std::vector<float> ScatterBuf;
+  std::vector<float> ConvStaging;
 };
 
 } // namespace au

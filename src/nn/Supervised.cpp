@@ -183,6 +183,48 @@ SupervisedTrainer::predictBatch(const std::vector<std::vector<float>> &Xs) {
   return Out;
 }
 
+void SupervisedTrainer::predictRowsInto(const float *Xs, int Rows,
+                                        std::vector<float> &Out) {
+  assert(Normalized && "predict before train");
+  assert(Xs && Rows > 0 && "invalid row buffer");
+  const size_t NX = XMean.size(), NY = YMean.size();
+
+  if (backend() == Backend::Naive) {
+    // The naive engine has no batched entry; run rows one by one.
+    Out.resize(static_cast<size_t>(Rows) * NY);
+    for (int R = 0; R != Rows; ++R) {
+      Tensor T(std::vector<int>{static_cast<int>(NX)});
+      const float *Row = Xs + static_cast<size_t>(R) * NX;
+      for (size_t I = 0; I != NX; ++I)
+        T[I] = (Row[I] - XMean[I]) / XStd[I];
+      Tensor Pred = Net.forward(T);
+      assert(Pred.size() == NY && "model output size mismatch");
+      for (size_t I = 0; I != NY; ++I)
+        Out[static_cast<size_t>(R) * NY + I] = Pred[I] * YStd[I] + YMean[I];
+    }
+    return;
+  }
+
+  if (RowStaging.rank() != 2 || RowStaging.dim(0) != Rows ||
+      RowStaging.dim(1) != static_cast<int>(NX))
+    RowStaging = Tensor({Rows, static_cast<int>(NX)});
+  for (int R = 0; R != Rows; ++R) {
+    const float *Row = Xs + static_cast<size_t>(R) * NX;
+    float *Dst = RowStaging.sampleData(R);
+    for (size_t I = 0; I != NX; ++I)
+      Dst[I] = (Row[I] - XMean[I]) / XStd[I];
+  }
+  Tensor Pred = Net.forwardBatch(RowStaging);
+  assert(Pred.size() == static_cast<size_t>(Rows) * NY &&
+         "model output size mismatch");
+  Out.resize(static_cast<size_t>(Rows) * NY);
+  for (int R = 0; R != Rows; ++R) {
+    const float *Row = Pred.sampleData(R);
+    for (size_t I = 0; I != NY; ++I)
+      Out[static_cast<size_t>(R) * NY + I] = Row[I] * YStd[I] + YMean[I];
+  }
+}
+
 void SupervisedTrainer::getNormalization(std::vector<float> &XM,
                                          std::vector<float> &XS,
                                          std::vector<float> &YM,

@@ -57,6 +57,13 @@ public:
   std::vector<std::vector<float>>
   predictBatch(const std::vector<std::vector<float>> &Xs);
 
+  /// Raw-buffer batched inference: \p Xs holds \p Rows feature vectors back
+  /// to back (Rows x inputSize, row-major); \p Out is resized to Rows x
+  /// outputSize de-normalized predictions. Normalization staging reuses a
+  /// member tensor, so repeated calls at a fixed row count allocate nothing
+  /// here (the au_NN hot path; Rows == 1 is the single-call case).
+  void predictRowsInto(const float *Xs, int Rows, std::vector<float> &Out);
+
   /// Mean |prediction - target| per output in raw target units over the
   /// dataset (resubstitution error, for quick sanity checks).
   double meanAbsError();
@@ -83,6 +90,7 @@ private:
   // Per-dimension normalization (computed lazily on first train()).
   std::vector<float> XMean, XStd, YMean, YStd;
   bool Normalized = false;
+  Tensor RowStaging; ///< predictRowsInto input staging (reused per call).
 };
 
 } // namespace nn

@@ -456,3 +456,328 @@ TEST(RuntimeTest, StatsCountPrimitives) {
   EXPECT_EQ(S.NumCheckpoint, 1u);
   EXPECT_EQ(S.NumRestore, 1u);
 }
+
+//===----------------------------------------------------------------------===//
+// Handle-keyed hot path (DESIGN.md §7)
+//===----------------------------------------------------------------------===//
+
+TEST(NameTableTest, InternIsIdempotentAndDense) {
+  NameTable T;
+  NameId A = T.intern("alpha");
+  NameId B = T.intern("beta");
+  EXPECT_EQ(A, 0u);
+  EXPECT_EQ(B, 1u);
+  EXPECT_EQ(T.intern("alpha"), A);
+  EXPECT_EQ(T.size(), 2u);
+  EXPECT_EQ(T.name(A), "alpha");
+  EXPECT_EQ(T.find("beta"), B);
+  EXPECT_EQ(T.find("gamma"), InvalidNameId);
+}
+
+TEST(NameTableTest, NameReferencesStayStableAcrossGrowth) {
+  NameTable T;
+  const std::string &First = T.name(T.intern("first"));
+  for (int I = 0; I < 1000; ++I)
+    T.intern("n" + std::to_string(I));
+  EXPECT_EQ(First, "first"); // No reallocation moved the string out.
+  EXPECT_EQ(T.find("first"), 0u);
+}
+
+TEST(DatabaseStoreTest, RvalueAppendAdoptsBuffer) {
+  DatabaseStore Db;
+  std::vector<float> V = {1.0f, 2.0f, 3.0f};
+  const float *Buf = V.data();
+  Db.append("x", std::move(V));
+  ASSERT_EQ(Db.get("x").size(), 3u);
+  EXPECT_EQ(Db.get("x").data(), Buf); // Adopted, not copied.
+  // Appending to an already-mapped slot concatenates as usual.
+  Db.append("x", std::vector<float>{4.0f});
+  ASSERT_EQ(Db.get("x").size(), 4u);
+  EXPECT_FLOAT_EQ(Db.get("x")[3], 4.0f);
+  EXPECT_EQ(Db.lifetimeAppended(), 4u);
+}
+
+TEST(DatabaseStoreTest, ClearDropsEntriesKeepsNamesAndLifetime) {
+  DatabaseStore Db;
+  NameId X = Db.intern("x");
+  Db.append(X, 1.0f);
+  Db.append("y", {2.0f, 3.0f});
+  Db.clear();
+  EXPECT_EQ(Db.numEntries(), 0u);
+  EXPECT_EQ(Db.totalValues(), 0u);
+  EXPECT_FALSE(Db.contains(X));
+  // Names and ids survive; the lifetime counter survives (Table 2).
+  EXPECT_EQ(Db.intern("x"), X);
+  EXPECT_EQ(Db.lifetimeAppended(), 3u);
+  Db.append(X, 5.0f);
+  EXPECT_EQ(Db.lifetimeAppended(), 4u);
+}
+
+TEST(DatabaseStoreTest, HandleSerializeIsLazyUntilRead) {
+  DatabaseStore Db;
+  NameId A = Db.intern("A"), B = Db.intern("B");
+  const float AVals[] = {1.0f, 2.0f};
+  Db.append(A, AVals, 2);
+  Db.append(B, 3.0f);
+  NameId C = Db.serialize({A, B});
+  EXPECT_EQ(Db.nameOf(C), "AB");
+  // view() exposes spans over the source buffers — zero copies.
+  SerializedView V = Db.view(C);
+  EXPECT_EQ(V.size(), 3u);
+  ASSERT_EQ(V.numSpans(), 2u);
+  EXPECT_EQ(V.spanData(0), Db.get(A).data());
+  EXPECT_EQ(V.spanData(1), Db.get(B).data());
+  float Gathered[3];
+  V.copyTo(Gathered);
+  EXPECT_FLOAT_EQ(Gathered[2], 3.0f);
+  // get() materializes to the same values.
+  ASSERT_EQ(Db.get(C).size(), 3u);
+  EXPECT_FLOAT_EQ(Db.get(C)[0], 1.0f);
+  EXPECT_FLOAT_EQ(Db.get(C)[2], 3.0f);
+}
+
+TEST(DatabaseStoreTest, ConsumingSerializeMapsSourcesToBottom) {
+  DatabaseStore Db;
+  NameId A = Db.intern("A"), B = Db.intern("B");
+  const float AVals[] = {1.0f, 2.0f};
+  Db.append(A, AVals, 2);
+  Db.append(B, 3.0f);
+  NameId C = Db.serialize({A, B}, /*Consume=*/true);
+  EXPECT_FALSE(Db.contains(A));
+  EXPECT_FALSE(Db.contains(B));
+  // The consumed sources' bytes stay readable through the spans.
+  ASSERT_EQ(Db.get(C).size(), 3u);
+  EXPECT_FLOAT_EQ(Db.get(C)[1], 2.0f);
+  EXPECT_FLOAT_EQ(Db.get(C)[2], 3.0f);
+}
+
+TEST(DatabaseStoreTest, SerializeDuplicateSourceCountsTwice) {
+  DatabaseStore Db;
+  NameId A = Db.intern("A"), B = Db.intern("B");
+  const float AVals[] = {1.0f, 2.0f};
+  Db.append(A, AVals, 2);
+  Db.append(B, 3.0f);
+  // {A, B, A}: A's list appears twice, even when the walk consumes A at
+  // its first occurrence.
+  NameId C = Db.serialize({A, B, A}, /*Consume=*/true);
+  EXPECT_EQ(Db.nameOf(C), "ABA");
+  ASSERT_EQ(Db.get(C).size(), 5u);
+  EXPECT_FLOAT_EQ(Db.get(C)[3], 1.0f);
+  EXPECT_FLOAT_EQ(Db.get(C)[4], 2.0f);
+}
+
+TEST(DatabaseStoreTest, SerializeCombinedNameAmongSources) {
+  DatabaseStore Db;
+  // strcat("X", "") == "X": the combined entry is one of its own sources.
+  NameId X = Db.intern("X"), E = Db.intern("");
+  const float XVals[] = {1.0f, 2.0f};
+  Db.append(X, XVals, 2);
+  Db.append(E, 3.0f);
+  NameId C = Db.serialize({X, E});
+  EXPECT_EQ(C, X);
+  ASSERT_EQ(Db.get(C).size(), 3u);
+  EXPECT_FLOAT_EQ(Db.get(C)[0], 1.0f);
+  EXPECT_FLOAT_EQ(Db.get(C)[2], 3.0f);
+  // Serialize the (now lazy) entry with itself again: flattens its own
+  // recorded spans rather than reading the list being rewritten.
+  NameId C2 = Db.serialize({X, E});
+  EXPECT_EQ(C2, X);
+  ASSERT_EQ(Db.get(C2).size(), 4u);
+  EXPECT_FLOAT_EQ(Db.get(C2)[2], 3.0f);
+  EXPECT_FLOAT_EQ(Db.get(C2)[3], 3.0f);
+}
+
+TEST(DatabaseStoreTest, NestedSerializeFlattensToConcreteSpans) {
+  DatabaseStore Db;
+  NameId A = Db.intern("A"), B = Db.intern("B"), C = Db.intern("C");
+  Db.append(A, 1.0f);
+  Db.append(B, 2.0f);
+  Db.append(C, 3.0f);
+  NameId AB = Db.serialize({A, B});
+  NameId ABC = Db.serialize({AB, C});
+  EXPECT_EQ(Db.nameOf(ABC), "ABC");
+  // The outer entry's spans reference A and B directly, not the lazy AB.
+  SerializedView V = Db.view(ABC);
+  ASSERT_EQ(V.numSpans(), 3u);
+  EXPECT_EQ(V.spanData(0), Db.get(A).data());
+  ASSERT_EQ(Db.get(ABC).size(), 3u);
+  EXPECT_FLOAT_EQ(Db.get(ABC)[2], 3.0f);
+}
+
+TEST(RuntimeTest, StringAndHandleTracesAreEquivalent) {
+  // The same RL deployment loop driven once through the string API and
+  // once through interned handles must be observationally identical: same
+  // actions, same pi contents, same primitive counts.
+  auto Configure = [](Runtime &RT) {
+    ModelConfig C;
+    C.Name = "agent";
+    C.Algo = Algorithm::QLearn;
+    C.HiddenLayers = {8};
+    C.Seed = 11;
+    RT.config(C);
+  };
+  Runtime S(Mode::TR), H(Mode::TR);
+  Configure(S);
+  Configure(H);
+  NameId PX = H.intern("PX"), PY = H.intern("PY");
+  NameId Agent = H.intern("agent"), Out = H.intern("output");
+
+  for (int I = 0; I < 50; ++I) {
+    float X = static_cast<float>(I) * 0.02f;
+    float Y = 1.0f - X;
+    bool Term = I % 17 == 16;
+
+    S.extract("PX", X);
+    S.extract("PY", Y);
+    S.nn("agent", S.serialize({"PX", "PY"}), 0.25f, Term, {"output", 3});
+    int ActionS = -1;
+    S.writeBack("output", 3, &ActionS);
+
+    H.extract(PX, X);
+    H.extract(PY, Y);
+    H.nn(Agent, H.serialize({PX, PY}), 0.25f, Term, {Out, 3});
+    int ActionH = -1;
+    H.writeBack(Out, 3, &ActionH);
+
+    EXPECT_EQ(ActionS, ActionH) << "diverged at step " << I;
+    EXPECT_TRUE(H.db().get(PX).empty()); // Consumed by serialize.
+  }
+  EXPECT_EQ(S.stats().NumExtract, H.stats().NumExtract);
+  EXPECT_EQ(S.stats().FloatsExtracted, H.stats().FloatsExtracted);
+  EXPECT_EQ(S.stats().NumSerialize, H.stats().NumSerialize);
+  EXPECT_EQ(S.stats().NumNn, H.stats().NumNn);
+  EXPECT_EQ(S.stats().NumWriteBack, H.stats().NumWriteBack);
+  EXPECT_EQ(S.db().numEntries(), H.db().numEntries());
+  EXPECT_EQ(S.db().totalValues(), H.db().totalValues());
+  EXPECT_EQ(S.db().lifetimeAppended(), H.db().lifetimeAppended());
+}
+
+TEST(RuntimeTest, NnBatchMatchesScalarPredictions) {
+  Runtime RT(Mode::TR);
+  ModelConfig C;
+  C.Name = "m";
+  C.HiddenLayers = {16};
+  C.Seed = 33;
+  RT.config(C);
+  Rng R(34);
+  for (int I = 0; I < 80; ++I) {
+    float X = static_cast<float>(R.uniform(-1, 1));
+    RT.extract("F", X);
+    RT.nn("m", "F", {{"Y", 1}});
+    float Label = 3 * X - 1;
+    RT.writeBack("Y", 1, &Label);
+  }
+  RT.trainSupervised("m", 30, 16);
+  RT.switchMode(Mode::TS);
+
+  NameId M = RT.intern("m"), F = RT.intern("F"), Y = RT.intern("Y");
+  const int Rows = 6;
+  float Xs[Rows] = {-0.9f, -0.3f, 0.0f, 0.2f, 0.6f, 1.0f};
+
+  float Scalar[Rows];
+  for (int I = 0; I < Rows; ++I) {
+    RT.extract(F, Xs[I]);
+    RT.nn(M, F, {{Y, 1}});
+    RT.writeBack(Y, 1, &Scalar[I]);
+  }
+
+  RT.extract(F, Rows, Xs); // All rows back to back.
+  RT.nnBatch(M, F, Rows, {{Y, 1}});
+  float Batched[Rows];
+  RT.writeBack(Y, Rows, Batched);
+  for (int I = 0; I < Rows; ++I)
+    EXPECT_FLOAT_EQ(Batched[I], Scalar[I]) << "row " << I;
+}
+
+TEST(CheckpointTest, DirtyTrackingStressBitIdentical) {
+  // Many regions, objects and pi slots; repeated mutate/restore rounds with
+  // different dirty subsets each round must restore bit-identically while
+  // re-copying only the dirty slice at each checkpoint.
+  Runtime RT(Mode::TR);
+  CheckpointManager &M = RT.checkpoints();
+  DatabaseStore &Db = RT.db();
+
+  constexpr int NumRegions = 16, NumSlots = 64;
+  std::vector<double> Pods(NumRegions);
+  std::vector<ToyState> Objs(4);
+  for (int I = 0; I < NumRegions; ++I) {
+    Pods[I] = I * 1.25;
+    M.registerRegion(&Pods[I], sizeof(double));
+  }
+  for (int I = 0; I < 4; ++I) {
+    Objs[I].Values = {I, I + 1, I + 2};
+    M.registerObject(&Objs[I]);
+  }
+  std::vector<NameId> Slots;
+  for (int I = 0; I < NumSlots; ++I) {
+    NameId Id = Db.intern("slot" + std::to_string(I));
+    const float Init[] = {static_cast<float>(I), static_cast<float>(2 * I)};
+    Db.append(Id, Init, 2);
+    Slots.push_back(Id);
+  }
+
+  RT.checkpoint();
+  size_t FullCopies = M.lastCheckpointCopies();
+  EXPECT_GE(FullCopies, static_cast<size_t>(NumRegions + NumSlots));
+
+  // Shadow baseline: what the latest checkpoint holds (re-checkpointing
+  // after a mutation makes that mutation the new baseline).
+  std::vector<double> BasePods = Pods;
+  std::vector<std::vector<int>> BaseObjs;
+  for (const ToyState &O : Objs)
+    BaseObjs.push_back(O.Values);
+  std::vector<std::vector<float>> BaseSlots;
+  for (NameId Id : Slots)
+    BaseSlots.push_back(Db.get(Id));
+
+  Rng R(99);
+  for (int Round = 0; Round < 8; ++Round) {
+    // Dirty a different, small subset each round.
+    for (int K = 0; K < 5; ++K) {
+      int I = static_cast<int>(R.uniform(0, NumSlots - 1));
+      Db.append(Slots[I], static_cast<float>(Round));
+    }
+    Pods[Round % NumRegions] = -1.0 - Round;
+    Objs[Round % 4].Values.push_back(Round);
+
+    if (Round % 2 == 1) {
+      // Re-checkpoint: only the dirty slice re-copies (O(delta)), and the
+      // mutations above become the new baseline.
+      RT.checkpoint();
+      EXPECT_LT(M.lastCheckpointCopies(), FullCopies / 2)
+          << "round " << Round;
+      BasePods = Pods;
+      for (int I = 0; I < 4; ++I)
+        BaseObjs[I] = Objs[I].Values;
+      for (int I = 0; I < NumSlots; ++I)
+        BaseSlots[I] = Db.get(Slots[I]);
+      // Dirty a little more so the restore below has work to do.
+      Db.append(Slots[Round % NumSlots], -7.0f);
+    }
+
+    // Restore must rewind to the latest baseline, bit for bit, repeatedly.
+    RT.restore();
+    for (int I = 0; I < NumRegions; ++I)
+      ASSERT_DOUBLE_EQ(Pods[I], BasePods[I]) << "round " << Round;
+    for (int I = 0; I < 4; ++I)
+      ASSERT_EQ(Objs[I].Values, BaseObjs[I]) << "round " << Round;
+    for (int I = 0; I < NumSlots; ++I)
+      ASSERT_EQ(Db.get(Slots[I]), BaseSlots[I])
+          << "round " << Round << " slot " << I;
+  }
+}
+
+TEST(CheckpointTest, SlotsInternedAfterSnapshotRollBackToBottom) {
+  Runtime RT(Mode::TR);
+  RT.extract("old", 1.0f);
+  RT.checkpoint();
+  NameId Fresh = RT.intern("fresh");
+  RT.extract(Fresh, 2.0f);
+  RT.restore();
+  EXPECT_FALSE(RT.db().contains(Fresh));
+  EXPECT_EQ(RT.db().get("old").size(), 1u);
+  // And the store keeps working for the rolled-back slot.
+  RT.extract(Fresh, 3.0f);
+  ASSERT_EQ(RT.db().get(Fresh).size(), 1u);
+  EXPECT_FLOAT_EQ(RT.db().get(Fresh)[0], 3.0f);
+}
