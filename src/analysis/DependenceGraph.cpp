@@ -15,7 +15,9 @@ NodeId DependenceGraph::getOrAddNode(const std::string &Name) {
   NodeId Id = static_cast<NodeId>(Names.size());
   Names.push_back(Name);
   Succ.emplace_back();
+  Pred.emplace_back();
   Index.emplace(Name, Id);
+  ++Epoch; // Cached bitsets are sized to the old node count.
   return Id;
 }
 
@@ -28,8 +30,11 @@ void DependenceGraph::addEdge(NodeId From, NodeId To) {
   assert(From >= 0 && From < numNodes() && "edge source out of range");
   assert(To >= 0 && To < numNodes() && "edge target out of range");
   std::vector<NodeId> &S = Succ[From];
-  if (std::find(S.begin(), S.end(), To) == S.end())
+  if (std::find(S.begin(), S.end(), To) == S.end()) {
     S.push_back(To);
+    Pred[To].push_back(From);
+    ++Epoch;
+  }
 }
 
 void DependenceGraph::addEdge(const std::string &From, const std::string &To) {
@@ -38,8 +43,20 @@ void DependenceGraph::addEdge(const std::string &From, const std::string &To) {
   addEdge(F, T);
 }
 
-std::vector<bool> DependenceGraph::reachableFrom(NodeId N) const {
-  std::vector<bool> Seen(Names.size(), false);
+const std::vector<bool> &DependenceGraph::reachableFrom(NodeId N) const {
+  // Drop all memoized bitsets if the graph changed since they were built.
+  // The outer vectors are resized here, never inside the per-node fill, so
+  // references handed out earlier in the same epoch stay valid (e.g.
+  // shareDependent holds two entries at once).
+  if (CacheEpoch != Epoch || ReachKnown.size() != Names.size()) {
+    ReachCache.assign(Names.size(), {});
+    ReachKnown.assign(Names.size(), 0);
+    CacheEpoch = Epoch;
+  }
+  if (ReachKnown[N])
+    return ReachCache[N];
+  std::vector<bool> &Seen = ReachCache[N];
+  Seen.assign(Names.size(), false);
   std::deque<NodeId> Work;
   // Seed with successors, not N itself, so N is only "reachable" through a
   // cycle (loop-carried dependence).
@@ -57,12 +74,13 @@ std::vector<bool> DependenceGraph::reachableFrom(NodeId N) const {
         Work.push_back(S);
       }
   }
+  ReachKnown[N] = 1;
   return Seen;
 }
 
 std::vector<NodeId> DependenceGraph::dependents(NodeId N) const {
   assert(N >= 0 && N < numNodes() && "node id out of range");
-  std::vector<bool> Seen = reachableFrom(N);
+  const std::vector<bool> &Seen = reachableFrom(N);
   std::vector<NodeId> Out;
   for (NodeId I = 0; I < numNodes(); ++I)
     if (Seen[I])
@@ -71,8 +89,8 @@ std::vector<NodeId> DependenceGraph::dependents(NodeId N) const {
 }
 
 bool DependenceGraph::shareDependent(NodeId A, NodeId B) const {
-  std::vector<bool> SA = reachableFrom(A);
-  std::vector<bool> SB = reachableFrom(B);
+  const std::vector<bool> &SA = reachableFrom(A);
+  const std::vector<bool> &SB = reachableFrom(B);
   for (size_t I = 0, E = SA.size(); I != E; ++I)
     if (SA[I] && SB[I])
       return true;
@@ -81,8 +99,8 @@ bool DependenceGraph::shareDependent(NodeId A, NodeId B) const {
 
 std::vector<NodeId> DependenceGraph::commonDependents(NodeId A,
                                                       NodeId B) const {
-  std::vector<bool> SA = reachableFrom(A);
-  std::vector<bool> SB = reachableFrom(B);
+  const std::vector<bool> &SA = reachableFrom(A);
+  const std::vector<bool> &SB = reachableFrom(B);
   std::vector<NodeId> Out;
   for (NodeId I = 0; I < numNodes(); ++I)
     if (SA[I] && SB[I])

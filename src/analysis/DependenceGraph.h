@@ -21,6 +21,7 @@
 #define AU_ANALYSIS_DEPENDENCEGRAPH_H
 
 #include <cassert>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -58,6 +59,14 @@ public:
     return Succ[N];
   }
 
+  /// Direct predecessors (the variables \p N was computed from), in edge
+  /// insertion order. Stored reverse-edge lists, maintained by addEdge —
+  /// no scan over all successor lists.
+  const std::vector<NodeId> &predecessors(NodeId N) const {
+    assert(N >= 0 && N < numNodes() && "node id out of range");
+    return Pred[N];
+  }
+
   /// Transitive dependents of \p N — the paper's dep(N). Excludes N itself
   /// unless a cycle leads back to it (loop-carried dependence).
   std::vector<NodeId> dependents(NodeId N) const;
@@ -81,11 +90,23 @@ public:
   std::vector<std::string> nodeNames() const { return Names; }
 
 private:
-  std::vector<bool> reachableFrom(NodeId N) const;
+  /// Cached forward-reachability bitset for \p N (the paper's dep(N)).
+  /// Computed by BFS on first use and memoized until the graph mutates;
+  /// Algorithm 2's correlation loop queries every feature pair, so without
+  /// the cache it re-runs BFS O(|V|^2) times over the same frozen graph.
+  const std::vector<bool> &reachableFrom(NodeId N) const;
 
   std::vector<std::string> Names;
   std::unordered_map<std::string, NodeId> Index;
   std::vector<std::vector<NodeId>> Succ;
+  std::vector<std::vector<NodeId>> Pred; ///< Stored reverse-edge lists.
+
+  /// Bumped on any node/edge insertion; reachability entries computed under
+  /// an older epoch are discarded lazily in reachableFrom().
+  uint64_t Epoch = 0;
+  mutable uint64_t CacheEpoch = 0;
+  mutable std::vector<std::vector<bool>> ReachCache;
+  mutable std::vector<char> ReachKnown;
 };
 
 } // namespace analysis

@@ -2,8 +2,10 @@
 
 #include "apps/common/RlHarness.h"
 
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace au;
@@ -72,6 +74,27 @@ static RlHandles makeHandles(GameEnv &Env, Runtime &RT,
   return H;
 }
 
+/// Resolves the positions of Opt.FeatureNames within Env.features() into
+/// \p H.FeatureIdx (the env must be reset). Idempotent; must run serially
+/// before any parallel extraction uses \p H.
+static void resolveFeatureIdx(GameEnv &Env, const RlTrainOptions &Opt,
+                              RlHandles &H) {
+  if (!H.FeatureIdx.empty())
+    return;
+  std::vector<Feature> Fs = Env.features();
+  H.FeatureIdx.reserve(Opt.FeatureNames.size());
+  for (const std::string &Name : Opt.FeatureNames) {
+    size_t Idx = Fs.size();
+    for (size_t I = 0; I != Fs.size(); ++I)
+      if (Fs[I].first == Name) {
+        Idx = I;
+        break;
+      }
+    assert(Idx < Fs.size() && "selected feature not exposed by the env");
+    H.FeatureIdx.push_back(Idx);
+  }
+}
+
 /// Runs the au_extract / au_serialize prologue of one loop iteration and
 /// returns the combined extraction handle to feed au_NN. On the first call
 /// the feature positions within Env.features() are resolved and cached in
@@ -84,27 +107,35 @@ static NameId extractState(GameEnv &Env, Runtime &RT,
     RT.extract(H.Img, Frame.size(), Frame.data().data());
     return H.Img;
   }
+  resolveFeatureIdx(Env, Opt, H);
   std::vector<Feature> Fs = Env.features();
-  if (H.FeatureIdx.empty()) {
-    H.FeatureIdx.reserve(Opt.FeatureNames.size());
-    for (const std::string &Name : Opt.FeatureNames) {
-      size_t Idx = Fs.size();
-      for (size_t I = 0; I != Fs.size(); ++I)
-        if (Fs[I].first == Name) {
-          Idx = I;
-          break;
-        }
-      assert(Idx < Fs.size() &&
-             "selected feature not exposed by the env");
-      H.FeatureIdx.push_back(Idx);
-    }
-  }
   for (size_t I = 0, E = H.Features.size(); I != E; ++I) {
     assert(Fs[H.FeatureIdx[I]].first == Opt.FeatureNames[I] &&
            "env feature order changed between steps");
     RT.extract(H.Features[I], Fs[H.FeatureIdx[I]].second);
   }
   return RT.serialize(H.Features);
+}
+
+/// extractState into actor \p Actor's database context. \p H must be fully
+/// resolved (resolveFeatureIdx) — this runs concurrently for distinct
+/// actors, so it only reads the shared handle set.
+static NameId extractStateActor(GameEnv &Env, Runtime &RT, int Actor,
+                                const RlTrainOptions &Opt,
+                                const RlHandles &H) {
+  if (Opt.Variant == RlVariant::Raw) {
+    Image Frame = Env.renderFrame(Opt.FrameSide);
+    RT.extract(Actor, H.Img, Frame.size(), Frame.data().data());
+    return H.Img;
+  }
+  assert(!H.FeatureIdx.empty() && "feature positions not resolved");
+  std::vector<Feature> Fs = Env.features();
+  for (size_t I = 0, E = H.Features.size(); I != E; ++I) {
+    assert(Fs[H.FeatureIdx[I]].first == Opt.FeatureNames[I] &&
+           "env feature order changed between steps");
+    RT.extract(Actor, H.Features[I], Fs[H.FeatureIdx[I]].second);
+  }
+  return RT.serialize(Actor, H.Features);
 }
 
 /// Configures (or finds) the model for this env/variant pair.
@@ -192,6 +223,208 @@ RlTrainResult au::apps::trainRl(GameEnv &Env, Runtime &RT,
   Res.NumParams = M->numParams();
   if (Restores > 0)
     Res.RestoreSeconds = RestoreTotal / static_cast<double>(Restores);
+  return Res;
+}
+
+RlTrainResult au::apps::trainRlParallel(const GameEnvFactory &Factory,
+                                        Runtime &RT,
+                                        const RlTrainOptions &Opt,
+                                        int NumActors) {
+  assert(RT.mode() == Mode::TR && "training requires TR mode");
+  assert(NumActors > 0 && "need at least one actor");
+  const int K = NumActors;
+  VectorEnv VE(Factory, K, Opt.Seed);
+
+  RlTrainResult Res;
+  Res.ModelName = rlModelName(VE.env(0), Opt.Variant);
+  Model *M = configureModel(VE.env(0), RT, Opt);
+  static_cast<RlModel *>(M)->configureActors(K);
+  RlHandles H = makeHandles(VE.env(0), RT, Opt);
+
+  // Actor contexts come after every name is interned, so the per-actor
+  // stores mirror the main name table. Evaluation lanes reuse them.
+  int NumCtx = K;
+  if (Opt.EvalEvery > 0)
+    NumCtx = std::max(NumCtx, Opt.EvalEpisodes);
+  RT.setActorContexts(NumCtx);
+
+  // Actor k opens the fleet on episode jitter k; later episodes draw fresh
+  // jitters from one global counter, assigned serially in actor order so
+  // the seed sequence is thread-count independent. (Unlike trainRl there is
+  // no checkpoint/restore rollback — K actors restarting from one shared
+  // snapshot would collapse the fleet's level diversity; see DESIGN.md §8.)
+  VE.resetAll([&](int A) { return makeSeed(Opt.Seed, static_cast<uint64_t>(A)); });
+  uint64_t NextJitter = static_cast<uint64_t>(K);
+  if (Opt.Variant == RlVariant::All)
+    resolveFeatureIdx(VE.env(0), Opt, H);
+
+  size_t TraceStart = RT.stats().traceBytes();
+  Timer TrainTimer;
+
+  std::vector<NameId> ExtIds(static_cast<size_t>(K), InvalidNameId);
+  std::vector<float> Rewards(static_cast<size_t>(K), 0.0f);
+  std::vector<uint8_t> Terms(static_cast<size_t>(K), 0);
+  std::vector<float> StepRewards(static_cast<size_t>(K), 0.0f);
+  std::vector<uint8_t> NewTerms(static_cast<size_t>(K), 0);
+  std::vector<uint8_t> Stepping(static_cast<size_t>(K), 0);
+  std::vector<int> EpSteps(static_cast<size_t>(K), 0);
+  ThreadPool &Pool = ThreadPool::global();
+  long PrevSteps = 0;
+
+  while (Res.StepsRun < Opt.TrainSteps) {
+    // 1. Extract + serialize every actor's state into its own store
+    // (disjoint contexts; parallel).
+    Pool.parallelFor(0, static_cast<size_t>(K), 1, [&](size_t B, size_t E) {
+      for (size_t A = B; A != E; ++A)
+        ExtIds[A] = extractStateActor(VE.env(static_cast<int>(A)), RT,
+                                      static_cast<int>(A), Opt, H);
+    });
+
+    // 2. One fused au_NN for the whole fleet: observe the completed
+    // transitions, advance the training schedule, select K actions with a
+    // single batched forward.
+    RT.nnRlActors(H.Model, ExtIds.data(), Rewards.data(), Terms.data(), K,
+                  H.Output);
+
+    // 3. Write back and step every live actor (disjoint envs; parallel).
+    // Actors whose episode just ended skip the step — their au_NN above
+    // carried the terminal signal, mirroring trainRl's `continue`.
+    for (int A = 0; A < K; ++A)
+      Stepping[static_cast<size_t>(A)] = Terms[static_cast<size_t>(A)] ? 0 : 1;
+    Pool.parallelFor(0, static_cast<size_t>(K), 1, [&](size_t B, size_t E) {
+      for (size_t A = B; A != E; ++A) {
+        if (!Stepping[A])
+          continue;
+        GameEnv &Env = VE.env(static_cast<int>(A));
+        int Action = 0;
+        RT.writeBack(static_cast<int>(A), H.Output.Name, Env.numActions(),
+                     &Action);
+        StepRewards[A] = Env.step(Action);
+        NewTerms[A] = Env.terminal() ? 1 : 0;
+      }
+    });
+
+    // 4. Serial episode bookkeeping in fixed actor order.
+    for (int A = 0; A < K; ++A) {
+      size_t AI = static_cast<size_t>(A);
+      if (!Stepping[AI]) {
+        ++Res.Episodes;
+        EpSteps[AI] = 0;
+        Rewards[AI] = 0.0f;
+        Terms[AI] = 0;
+        VE.reset(A, makeSeed(Opt.Seed, NextJitter++));
+        continue;
+      }
+      Rewards[AI] = StepRewards[AI];
+      Terms[AI] = NewTerms[AI];
+      ++Res.StepsRun;
+      if (++EpSteps[AI] >= Opt.MaxEpisodeSteps)
+        Terms[AI] = 1; // Truncate over-long episodes.
+    }
+
+    // Periodic greedy evaluation, once per EvalEvery boundary crossed (a
+    // tick advances up to K steps at once).
+    if (Opt.EvalEvery > 0 &&
+        Res.StepsRun / Opt.EvalEvery > PrevSteps / Opt.EvalEvery) {
+      RlEvalResult E = evalRlBatched(Factory, RT, Opt, Opt.EvalEpisodes);
+      Res.Curve.push_back({Res.StepsRun, E.MeanProgress, E.SuccessRate});
+    }
+    PrevSteps = Res.StepsRun;
+  }
+
+  Res.TrainSeconds = TrainTimer.seconds();
+  RT.mergeActorStats();
+  Res.TraceBytes = RT.stats().traceBytes() - TraceStart;
+  Res.ModelBytes = M->modelSizeBytes();
+  Res.NumParams = M->numParams();
+  return Res;
+}
+
+RlEvalResult au::apps::evalRlBatched(const GameEnvFactory &Factory,
+                                     Runtime &RT, const RlTrainOptions &Opt,
+                                     int Episodes) {
+  assert(Episodes > 0 && "evaluation needs at least one episode");
+  VectorEnv VE(Factory, Episodes, Opt.Seed ^ 0xe7a1u);
+  RlHandles H = makeHandles(VE.env(0), RT, Opt);
+  assert(RT.getModel(H.Model) && "evaluating an unconfigured model");
+  RT.setActorContexts(Episodes);
+
+  Mode PrevMode = RT.mode();
+  RT.switchMode(Mode::TS);
+
+  // Same per-episode seeds as the serial evalRl.
+  VE.resetAll([&](int Ep) {
+    return makeSeed(Opt.Seed, 100 + static_cast<uint64_t>(Ep));
+  });
+  if (Opt.Variant == RlVariant::All)
+    resolveFeatureIdx(VE.env(0), Opt, H);
+
+  RlEvalResult Res;
+  ThreadPool &Pool = ThreadPool::global();
+  Timer T;
+  long Steps = 0;
+
+  // Live lanes run in lockstep; lane i of a tick uses actor context i, so
+  // the context mapping is a pure function of which episodes are still
+  // running. Finished lanes retire in fixed episode order.
+  std::vector<int> Live;
+  std::vector<int> EpSteps(static_cast<size_t>(Episodes), 0);
+  for (int Ep = 0; Ep < Episodes; ++Ep) {
+    if (VE.env(Ep).terminal()) {
+      Res.MeanProgress += VE.env(Ep).progress();
+      Res.SuccessRate += VE.env(Ep).success() ? 1.0 : 0.0;
+    } else {
+      Live.push_back(Ep);
+    }
+  }
+
+  std::vector<NameId> ExtIds;
+  std::vector<float> ZeroRewards;
+  std::vector<uint8_t> NoTerms;
+  while (!Live.empty()) {
+    int M = static_cast<int>(Live.size());
+    ExtIds.assign(static_cast<size_t>(M), InvalidNameId);
+    Pool.parallelFor(0, static_cast<size_t>(M), 1, [&](size_t B, size_t E) {
+      for (size_t I = B; I != E; ++I)
+        ExtIds[I] = extractStateActor(VE.env(Live[I]), RT,
+                                      static_cast<int>(I), Opt, H);
+    });
+    ZeroRewards.assign(static_cast<size_t>(M), 0.0f);
+    NoTerms.assign(static_cast<size_t>(M), 0);
+    RT.nnRlActors(H.Model, ExtIds.data(), ZeroRewards.data(), NoTerms.data(),
+                  M, H.Output);
+    Pool.parallelFor(0, static_cast<size_t>(M), 1, [&](size_t B, size_t E) {
+      for (size_t I = B; I != E; ++I) {
+        GameEnv &Env = VE.env(Live[I]);
+        int Action = 0;
+        RT.writeBack(static_cast<int>(I), H.Output.Name, Env.numActions(),
+                     &Action);
+        Env.step(Action);
+      }
+    });
+    Steps += M;
+
+    std::vector<int> Next;
+    Next.reserve(Live.size());
+    for (int I = 0; I < M; ++I) {
+      int Ep = Live[static_cast<size_t>(I)];
+      ++EpSteps[static_cast<size_t>(Ep)];
+      if (VE.env(Ep).terminal() ||
+          EpSteps[static_cast<size_t>(Ep)] >= Opt.MaxEpisodeSteps) {
+        Res.MeanProgress += VE.env(Ep).progress();
+        Res.SuccessRate += VE.env(Ep).success() ? 1.0 : 0.0;
+      } else {
+        Next.push_back(Ep);
+      }
+    }
+    Live.swap(Next);
+  }
+
+  Res.MeanProgress /= Episodes;
+  Res.SuccessRate /= Episodes;
+  Res.MeanStepSeconds = Steps > 0 ? T.seconds() / static_cast<double>(Steps) : 0;
+  RT.mergeActorStats();
+  RT.switchMode(PrevMode);
   return Res;
 }
 

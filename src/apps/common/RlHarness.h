@@ -25,6 +25,7 @@
 
 #include "analysis/FeatureExtraction.h"
 #include "apps/common/GameEnv.h"
+#include "apps/common/VectorEnv.h"
 #include "core/Runtime.h"
 #include "nn/QLearner.h"
 
@@ -107,10 +108,35 @@ selectRlFeatures(GameEnv &Env, double Epsilon1 = 1e-6,
 /// must be in TR mode.
 RlTrainResult trainRl(GameEnv &Env, Runtime &RT, const RlTrainOptions &Opt);
 
+/// Parallel-rollout training (DESIGN.md §8): \p NumActors environments from
+/// \p Factory run in lockstep ticks. Per tick, feature extraction and env
+/// stepping parallelize across actors on the global ThreadPool, the K
+/// au_NN calls fuse into one batched model step (nnRlActors), transitions
+/// land in per-actor replay shards, and the training schedule advances once
+/// per tick. Results are bitwise identical at any AU_NN_THREADS setting.
+///
+/// Two deliberate departures from trainRl's schedule (documented in
+/// DESIGN.md §8): episodes restart with fresh jittered seeds instead of
+/// checkpoint/restore rollback, and callers typically set
+/// Opt.QCfg.TrainInterval = NumActors so one minibatch runs per tick — the
+/// standard vectorized-DQN schedule (same 1-trainStep-per-interval cadence
+/// as the serial TrainInterval=1 loop, K env steps per tick).
+RlTrainResult trainRlParallel(const GameEnvFactory &Factory, Runtime &RT,
+                              const RlTrainOptions &Opt, int NumActors);
+
 /// Greedy evaluation over \p Episodes jittered episodes. Leaves the
 /// runtime's mode as it found it. Works on the in-memory trained model.
 RlEvalResult evalRl(GameEnv &Env, Runtime &RT, const RlTrainOptions &Opt,
                     int Episodes);
+
+/// Greedy evaluation with the episodes run concurrently: each episode is
+/// one actor lane, action selection for all live lanes fuses into one
+/// batched inference per tick, and env stepping parallelizes across lanes.
+/// Uses the same per-episode seeds as evalRl; with one episode the two
+/// produce identical scores (a single-row batch is the serial TS path).
+/// Leaves the runtime's mode as it found it.
+RlEvalResult evalRlBatched(const GameEnvFactory &Factory, Runtime &RT,
+                           const RlTrainOptions &Opt, int Episodes);
 
 /// The scripted near-optimal player ("human players" reference).
 RlEvalResult evalHeuristic(GameEnv &Env, const RlTrainOptions &Opt,

@@ -301,7 +301,67 @@ void RlModel::build(int InputSize, const WriteBackSpec &Output) {
   };
   Learner = std::make_unique<nn::QLearner>(MakeNet, Output.Size, QCfg,
                                            Cfg.Seed ^ 0x5eedu);
+  if (NumActorsCfg > 0)
+    Learner->configureActors(NumActorsCfg);
   Built = true;
+}
+
+void RlModel::configureActors(int NumActors) {
+  assert(NumActors > 0 && "need at least one actor");
+  NumActorsCfg = NumActors;
+  ActorPrevStates.resize(static_cast<size_t>(NumActors));
+  ActorPrevActions.assign(static_cast<size_t>(NumActors), -1);
+  ActorHavePrev.assign(static_cast<size_t>(NumActors), 0);
+  if (Built)
+    Learner->configureActors(NumActors);
+}
+
+void RlModel::stepActors(const float *States, int K, int D,
+                         const float *Rewards, const uint8_t *Terminals,
+                         const WriteBackSpec &Output, bool Learning,
+                         int *ActionsOut) {
+  if (!Built)
+    build(D, Output);
+  assert(D == InSize && "extracted state size changed between steps");
+  assert(Output.Size == Outs.front().Size && "action count changed");
+  assert((!Learning || K == NumActorsCfg) &&
+         "learning step must cover every configured actor");
+
+  // Observe each actor's completed transition in actor order, then advance
+  // the global training schedule exactly once for the whole tick — the
+  // batched analogue of the serial observe-then-select step.
+  if (Learning) {
+    int Observed = 0;
+    for (int A = 0; A < K; ++A) {
+      if (!ActorHavePrev[static_cast<size_t>(A)])
+        continue;
+      const std::vector<float> &Prev = ActorPrevStates[static_cast<size_t>(A)];
+      Learner->observeActor(A, Prev.data(), Prev.size(),
+                            ActorPrevActions[static_cast<size_t>(A)],
+                            Rewards[A], States + static_cast<size_t>(A) * D,
+                            static_cast<size_t>(D), Terminals[A] != 0);
+      ++Observed;
+    }
+    if (Observed)
+      Learner->finishTick(Observed);
+  }
+
+  Learner->selectActionsBatch(States, K, D, Learning, ActionsOut);
+
+  if (!Learning)
+    return; // Deployment-mode steps never disturb the transition chains.
+  for (int A = 0; A < K; ++A) {
+    if (Terminals[A] != 0) {
+      // The episode ended at this state; do not chain the next transition
+      // across the reset that follows.
+      ActorHavePrev[static_cast<size_t>(A)] = 0;
+      continue;
+    }
+    const float *Row = States + static_cast<size_t>(A) * D;
+    ActorPrevStates[static_cast<size_t>(A)].assign(Row, Row + D);
+    ActorPrevActions[static_cast<size_t>(A)] = ActionsOut[A];
+    ActorHavePrev[static_cast<size_t>(A)] = 1;
+  }
 }
 
 int RlModel::step(const std::vector<float> &State, float Reward, bool Terminal,
@@ -320,7 +380,10 @@ int RlModel::stepBuilt(const std::vector<float> &State, float Reward,
   (void)NumActions;
 
   if (HavePrev && Learning)
-    Learner->observe(PrevState, PrevAction, Reward, State, Terminal);
+    // PrevState is dead after this observe (reassigned or invalidated
+    // below), so hand its buffer to the replay ring instead of copying.
+    Learner->observe(std::move(PrevState), PrevAction, Reward, State,
+                     Terminal);
 
   if (Terminal) {
     // The episode ended at this state; do not chain the next transition

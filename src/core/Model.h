@@ -147,6 +147,26 @@ public:
   int stepBuilt(const std::vector<float> &State, float Reward, bool Terminal,
                 int NumActions, bool Learning);
 
+  /// Enters K-actor mode: gives each actor its own transition chain and
+  /// shards the learner's replay per actor (DESIGN.md §8). May be called
+  /// before the model is built; the learner is configured at build time.
+  void configureActors(int NumActors);
+
+  int numActors() const { return NumActorsCfg; }
+
+  /// One fused au_NN step for \p K concurrent actors. \p States holds the
+  /// K extracted states back to back (K x D row-major); \p Rewards and
+  /// \p Terminals are per-actor. Per-actor completed transitions are
+  /// observed in actor order, one finishTick advances the global training
+  /// schedule, and all K action selections run as a single batched forward;
+  /// \p ActionsOut receives the K chosen actions. Builds the network on
+  /// first use from \p D and \p Output. When \p Learning, K must equal the
+  /// configured actor count; deployment-mode calls (evaluation) may use any
+  /// K and never disturb the training chains.
+  void stepActors(const float *States, int K, int D, const float *Rewards,
+                  const uint8_t *Terminals, const WriteBackSpec &Output,
+                  bool Learning, int *ActionsOut);
+
   /// Q-values for diagnostics.
   std::vector<float> qValues(const std::vector<float> &State);
 
@@ -168,6 +188,12 @@ private:
   std::vector<float> PrevState;
   int PrevAction = -1;
   bool HavePrev = false;
+  // K-actor mode: one transition chain per actor (the serial chain above is
+  // untouched, so serial and batched stepping can coexist on one model).
+  int NumActorsCfg = 0;
+  std::vector<std::vector<float>> ActorPrevStates;
+  std::vector<int> ActorPrevActions;
+  std::vector<uint8_t> ActorHavePrev;
 };
 
 } // namespace au

@@ -2,6 +2,8 @@
 
 #include "core/Runtime.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -326,6 +328,86 @@ void Runtime::setWbOwner(NameId Out, NameId ModelId) {
   if (Out >= WbOwner.size())
     WbOwner.resize(Out + 1, InvalidNameId);
   WbOwner[Out] = ModelId;
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel actor contexts (DESIGN.md §8)
+//===----------------------------------------------------------------------===//
+
+void Runtime::setActorContexts(int K) {
+  assert(K > 0 && "need at least one actor context");
+  while (numActorContexts() < K) {
+    auto C = std::make_unique<ActorCtx>();
+    // Seed the new store's name table with every name interned so far, in
+    // order, so main-store NameIds index this store directly.
+    const NameTable &NT = Db.names();
+    for (size_t I = 0; I != NT.size(); ++I) {
+      [[maybe_unused]] NameId Id = C->Db.intern(NT.name(static_cast<NameId>(I)));
+      assert(Id == static_cast<NameId>(I) && "name table copy diverged");
+    }
+    Actors.push_back(std::move(C));
+  }
+}
+
+void Runtime::nnRlActors(NameId ModelId, const NameId *ExtIds,
+                         const float *Rewards, const uint8_t *Terminals,
+                         int K, const WriteBackHandle &Output) {
+  assert(K > 0 && K <= numActorContexts() &&
+         "nnRlActors needs a context per actor");
+  Stats.NumNn += static_cast<size_t>(K);
+  Model *M = getModel(ModelId);
+  assert(M && "au_NN on an unconfigured model");
+  assert(RlModel::classof(M) && "RL au_NN form on a supervised model");
+  auto *Rl = static_cast<RlModel *>(M);
+  setWbOwner(Output.Name, ModelId);
+
+  // Gather each actor's serialized state into row k of one K x D staging
+  // block. Rows are disjoint and each chunk touches only its own actor
+  // store, so the gather parallelizes without changing any result.
+  size_t D = actor(0).Db.view(ExtIds[0]).size();
+  assert(D > 0 && "au_NN with an empty state list");
+  NnStaging.resize(static_cast<size_t>(K) * D);
+  ThreadPool::global().parallelFor(0, static_cast<size_t>(K), 1,
+                                   [&](size_t B, size_t E) {
+    for (size_t A = B; A != E; ++A) {
+      SerializedView V = actor(static_cast<int>(A)).Db.view(ExtIds[A]);
+      assert(V.size() == D && "actor state sizes diverged");
+      V.copyTo(NnStaging.data() + A * D);
+    }
+  });
+
+  // One fused model step for the whole fleet (observe, train when due,
+  // batched action selection). The output's string spec is only needed on
+  // the cold build path.
+  ActionsScratch.resize(static_cast<size_t>(K));
+  WriteBackSpec Spec{std::string(), Output.Size};
+  if (!M->isBuilt())
+    Spec.Name = Db.nameOf(Output.Name);
+  bool Learning = ExecMode == Mode::TR;
+  Rl->stepActors(NnStaging.data(), K, static_cast<int>(D), Rewards, Terminals,
+                 Spec, Learning, ActionsScratch.data());
+
+  // Scatter action k into actor k's store and reset its state list (Rules
+  // TRAIN/TEST reset extName), again disjoint per actor.
+  ThreadPool::global().parallelFor(0, static_cast<size_t>(K), 1,
+                                   [&](size_t B, size_t E) {
+    for (size_t A = B; A != E; ++A) {
+      float ActionF = static_cast<float>(ActionsScratch[A]);
+      DatabaseStore &ADb = actor(static_cast<int>(A)).Db;
+      ADb.set(Output.Name, &ActionF, 1);
+      ADb.reset(ExtIds[A]);
+    }
+  });
+}
+
+void Runtime::mergeActorStats() {
+  for (auto &A : Actors) {
+    Stats.NumExtract += A->NumExtract;
+    Stats.FloatsExtracted += A->FloatsExtracted;
+    Stats.NumSerialize += A->NumSerialize;
+    Stats.NumWriteBack += A->NumWriteBack;
+    A->NumExtract = A->FloatsExtracted = A->NumSerialize = A->NumWriteBack = 0;
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -64,6 +64,7 @@
 #include "core/Model.h"
 
 #include <cassert>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -113,8 +114,20 @@ public:
   /// Interns \p Name into the store's name table (idempotent) and returns
   /// the dense handle accepted by every primitive overload below. Model
   /// names and database names share one table, so the handle returned for
-  /// a configured model's name keys nn()/getModel() too.
-  NameId intern(std::string_view Name) { return Db.intern(Name); }
+  /// a configured model's name keys nn()/getModel() too. With actor
+  /// contexts active the name is interned into every actor store as well,
+  /// keeping ids valid across all of them; intern user names before the
+  /// first serialize on an actor context (serialize interns combined names
+  /// per store).
+  NameId intern(std::string_view Name) {
+    NameId Id = Db.intern(Name);
+    for (auto &A : Actors) {
+      [[maybe_unused]] NameId AId = A->Db.intern(Name);
+      assert(AId == Id && "actor store name table diverged; intern user "
+                          "names before serializing on actor contexts");
+    }
+    return Id;
+  }
 
   //===--------------------------------------------------------------------===//
   // Primitives
@@ -221,6 +234,79 @@ public:
   void writeBack(NameId Id, size_t Size, double *Data);
   void writeBack(NameId Id, int NumActions, int *ActionKey);
 
+  //===--------------------------------------------------------------------===//
+  // Parallel actor contexts (DESIGN.md §8)
+  //===--------------------------------------------------------------------===//
+  //
+  // K concurrent rollouts share one model store theta but need K isolated
+  // database stores pi — actor k's extracts must never interleave with
+  // actor j's. setActorContexts creates per-actor stores whose name tables
+  // mirror the main one (ids agree), the actor-keyed primitives below
+  // operate on actor k's store only (distinct actors may run on distinct
+  // threads), and nnRlActors fuses the K au_NN calls of one tick into a
+  // single batched model step.
+
+  /// Creates per-actor database contexts 0..K-1 (grow-only; existing
+  /// contexts and their contents are kept). Each new context's name table
+  /// is seeded with every name interned so far, in order, so main-store
+  /// handles index actor stores directly.
+  void setActorContexts(int K);
+
+  int numActorContexts() const { return static_cast<int>(Actors.size()); }
+
+  /// Actor \p Actor's database store (tests/diagnostics).
+  DatabaseStore &actorDb(int Actor) { return actor(Actor).Db; }
+
+  /// au_extract into actor \p Actor's store. Safe to call for distinct
+  /// actors from distinct threads; stats accumulate per actor and fold into
+  /// the global counters at mergeActorStats().
+  void extract(int Actor, NameId Id, float Value) {
+    ActorCtx &C = actor(Actor);
+    ++C.NumExtract;
+    ++C.FloatsExtracted;
+    C.Db.append(Id, Value);
+  }
+  void extract(int Actor, NameId Id, size_t Size, const float *Data) {
+    assert(Data || Size == 0);
+    ActorCtx &C = actor(Actor);
+    ++C.NumExtract;
+    C.FloatsExtracted += Size;
+    C.Db.append(Id, Data, Size);
+  }
+
+  /// au_serialize on actor \p Actor's store. All actors issue the same
+  /// serialize sequence, so the combined handles stay in lockstep across
+  /// actor stores.
+  NameId serialize(int Actor, const std::vector<NameId> &Ids) {
+    ActorCtx &C = actor(Actor);
+    ++C.NumSerialize;
+    return C.Db.serialize(Ids, /*Consume=*/true);
+  }
+
+  /// RL action write-back from actor \p Actor's store.
+  void writeBack(int Actor, NameId Id, int NumActions, int *ActionKey) {
+    (void)NumActions;
+    assert(ActionKey && "invalid write-back destination");
+    ActorCtx &C = actor(Actor);
+    ++C.NumWriteBack;
+    const std::vector<float> &Vals = C.Db.get(Id);
+    assert(!Vals.empty() && "no predicted action in the actor store");
+    *ActionKey = static_cast<int>(Vals.front());
+  }
+
+  /// Fused RL au_NN for K actors: gathers actor k's state pi_k[ExtIds[k]]
+  /// into row k of a K x D staging block (parallel, disjoint rows), runs
+  /// one batched model step (observe + train + select, see
+  /// RlModel::stepActors), and scatters action k into pi_k[Output.Name].
+  /// Counts as K au_NN calls in the stats.
+  void nnRlActors(NameId ModelId, const NameId *ExtIds, const float *Rewards,
+                  const uint8_t *Terminals, int K,
+                  const WriteBackHandle &Output);
+
+  /// Folds the per-actor primitive counters into stats() in actor order
+  /// (call after parallel work has quiesced, before reading the stats).
+  void mergeActorStats();
+
   /// au_checkpoint: Rule CHECKPOINT snapshots registered program state and
   /// pi; model state theta is deliberately excluded.
   void checkpoint();
@@ -265,6 +351,23 @@ private:
     std::vector<std::pair<NameId, std::vector<float>>> Labels;
   };
 
+  /// One actor's isolated slice of the runtime: its own database store pi
+  /// plus per-actor primitive counters (so actor threads never contend on
+  /// the global RuntimeStats).
+  struct ActorCtx {
+    DatabaseStore Db;
+    size_t NumExtract = 0;
+    size_t FloatsExtracted = 0;
+    size_t NumSerialize = 0;
+    size_t NumWriteBack = 0;
+  };
+
+  ActorCtx &actor(int Actor) {
+    assert(Actor >= 0 && Actor < numActorContexts() &&
+           "actor context out of range");
+    return *Actors[static_cast<size_t>(Actor)];
+  }
+
   void completePendingIfReady(PendingSample &P);
   void setWbOwner(NameId Out, NameId ModelId);
   NameId wbOwner(NameId Out) const {
@@ -279,6 +382,7 @@ private:
   std::vector<Model *> ModelById;  ///< NameId -> model (theta over handles).
   std::vector<NameId> WbOwner;     ///< Output id -> owning model id.
   std::vector<PendingSample> Pending;
+  std::vector<std::unique_ptr<ActorCtx>> Actors;
   RuntimeStats Stats;
 
   // Reusable hot-path staging (DESIGN.md §7): model inputs gathered from
@@ -288,6 +392,7 @@ private:
   std::vector<float> NnOut;
   std::vector<float> ScatterBuf;
   std::vector<float> ConvStaging;
+  std::vector<int> ActionsScratch;
 };
 
 } // namespace au

@@ -28,11 +28,13 @@ Tensor forwardOne(Network &Net, const std::vector<float> &State) {
 } // namespace
 
 QLearner::QLearner(std::function<Network()> MakeNet, int Actions,
-                   QConfig Config, uint64_t Seed)
+                   QConfig Config, uint64_t BaseSeed)
     : Online(MakeNet()), Target(MakeNet()), Opt(Online, Config.LearningRate),
-      NumActions(Actions), Cfg(Config), Rand(Seed), Eps(Config.EpsilonStart) {
+      NumActions(Actions), Cfg(Config), Rand(BaseSeed), Seed(BaseSeed),
+      Eps(Config.EpsilonStart) {
   assert(NumActions > 1 && "Q-learning needs at least two actions");
   Target.copyParamsFrom(Online);
+  Replay.configure(1, Cfg.ReplayCapacity);
 }
 
 std::vector<float> QLearner::qValues(const std::vector<float> &State) {
@@ -53,16 +55,91 @@ int QLearner::greedyAction(const std::vector<float> &State) {
   return static_cast<int>(Out.argmax());
 }
 
-void QLearner::observe(const std::vector<float> &State, int Action,
-                       float Reward, const std::vector<float> &NextState,
-                       bool Terminal) {
+void QLearner::observe(std::vector<float> State, int Action, float Reward,
+                       std::vector<float> NextState, bool Terminal) {
   assert(Action >= 0 && Action < NumActions && "action out of range");
-  Replay.push_back({State, Action, Reward, NextState, Terminal});
-  if (Replay.size() > static_cast<size_t>(Cfg.ReplayCapacity))
-    Replay.pop_front();
-  ++Steps;
+  Replay.push(0, {std::move(State), Action, Reward, std::move(NextState),
+                  Terminal});
+  finishTick(1);
+}
 
-  // Linear epsilon decay over the configured horizon.
+void QLearner::configureActors(int NumActors) {
+  assert(NumActors > 0 && "need at least one actor");
+  if (NumActors == numActors())
+    return;
+  Replay.configure(NumActors, Cfg.ReplayCapacity);
+  Streams.clear();
+  Streams.reserve(static_cast<size_t>(NumActors));
+  for (int A = 0; A < NumActors; ++A)
+    Streams.push_back(Rng::stream(Seed, static_cast<uint64_t>(A)));
+}
+
+void QLearner::selectActionsBatch(const float *States, int K, int D,
+                                  bool Learning, int *Actions) {
+  assert(K > 0 && D > 0 && "empty action-selection batch");
+  assert((!Learning || K <= numActors()) &&
+         "learning batch larger than configured actor count");
+  // One fused inference for all K actors. Exploration may discard some rows,
+  // but computing them keeps the batch shape fixed and the result a pure
+  // function of the states — no data-dependent batching.
+  Tensor Out;
+  if (backend() == Backend::Gemm) {
+    if (ActStaging.size() != static_cast<size_t>(K) * D)
+      ActStaging = Tensor({K, D});
+    std::copy(States, States + static_cast<size_t>(K) * D, ActStaging.data());
+    Out = Online.forwardBatch(ActStaging);
+  } else {
+    Out = Tensor({K, NumActions});
+    std::vector<float> Row(static_cast<size_t>(D));
+    for (int A = 0; A < K; ++A) {
+      Row.assign(States + static_cast<size_t>(A) * D,
+                 States + static_cast<size_t>(A + 1) * D);
+      Tensor Q = Online.forward(Tensor::fromVector(Row));
+      std::copy(Q.data(), Q.data() + NumActions, Out.sampleData(A));
+    }
+  }
+  // Serial epsilon-greedy pass in actor order: actor k's draws always come
+  // from stream k, so the chosen actions are identical at any thread count.
+  for (int A = 0; A < K; ++A) {
+    if (Learning && Streams[static_cast<size_t>(A)].chance(Eps)) {
+      Actions[A] = static_cast<int>(
+          Streams[static_cast<size_t>(A)].uniformInt(NumActions));
+      continue;
+    }
+    const float *Row = Out.sampleData(A);
+    Actions[A] = static_cast<int>(
+        std::max_element(Row, Row + NumActions) - Row);
+  }
+}
+
+void QLearner::observeActor(int Actor, const float *State, size_t StateLen,
+                            int Action, float Reward, const float *NextState,
+                            size_t NextLen, bool Terminal) {
+  assert(Action >= 0 && Action < NumActions && "action out of range");
+  Replay.emplace(Actor, State, StateLen, Action, Reward, NextState, NextLen,
+                 Terminal);
+}
+
+void QLearner::finishTick(int Observed) {
+  assert(Observed > 0 && "tick without observations");
+  long Prev = Steps;
+  Steps += Observed;
+  decaySchedules();
+  // Run every training step and target sync that came due while the tick's
+  // transitions were recorded — the same schedule the serial path follows
+  // one step at a time. With TrainInterval == K (the vectorized-DQN
+  // schedule) exactly one minibatch runs per K-actor tick.
+  for (long S = Prev + 1; S <= Steps; ++S) {
+    if (S >= Cfg.WarmupSteps && S % Cfg.TrainInterval == 0)
+      trainStep();
+    if (S % Cfg.TargetSyncInterval == 0)
+      Target.copyParamsFrom(Online);
+  }
+}
+
+void QLearner::decaySchedules() {
+  // Linear epsilon decay over the configured horizon. Pure function of the
+  // step count, so serial and K-actor runs agree at equal Steps.
   if (Eps > Cfg.EpsilonEnd) {
     double Frac = static_cast<double>(Steps) / Cfg.EpsilonDecaySteps;
     Eps = Cfg.EpsilonStart +
@@ -76,20 +153,16 @@ void QLearner::observe(const std::vector<float> &State, int Action,
     Opt.setLearningRate(Cfg.LearningRate +
                         (Cfg.LearningRateEnd - Cfg.LearningRate) * Frac);
   }
-
-  if (Steps >= Cfg.WarmupSteps && Steps % Cfg.TrainInterval == 0)
-    trainStep();
-  if (Steps % Cfg.TargetSyncInterval == 0)
-    Target.copyParamsFrom(Online);
 }
 
 void QLearner::trainStep() {
   if (Replay.size() < static_cast<size_t>(Cfg.BatchSize))
     return;
+  ++TrainSteps;
   Online.zeroGrads();
   if (backend() == Backend::Naive) {
     for (int B = 0; B < Cfg.BatchSize; ++B) {
-      const Transition &T = Replay[Rand.uniformInt(Replay.size())];
+      const Transition &T = Replay.at(Rand.uniformInt(Replay.size()));
       // Bootstrap target: r + gamma * max_a' Q_target(s', a') unless
       // terminal.
       float Y = T.Reward;
@@ -105,25 +178,31 @@ void QLearner::trainStep() {
   } else {
     // Batched replay update: one forwardBatch over the target and online
     // networks instead of BatchSize scalar calls. The minibatch is drawn
-    // with the identical RNG sequence as the naive path.
+    // with the identical RNG sequence as the naive path, and assembled
+    // straight into reused batch tensors (no per-step allocation).
     int Bn = Cfg.BatchSize;
-    std::vector<const Transition *> Batch(Bn);
+    BatchPtrs.resize(static_cast<size_t>(Bn));
     for (int B = 0; B < Bn; ++B)
-      Batch[B] = &Replay[Rand.uniformInt(Replay.size())];
-    int D = static_cast<int>(Batch[0]->State.size());
-    Tensor States({Bn, D}), NextStates({Bn, D});
+      BatchPtrs[static_cast<size_t>(B)] =
+          &Replay.at(Rand.uniformInt(Replay.size()));
+    int D = static_cast<int>(BatchPtrs[0]->State.size());
+    if (BatchStates.size() != static_cast<size_t>(Bn) * D) {
+      BatchStates = Tensor({Bn, D});
+      BatchNext = Tensor({Bn, D});
+      BatchGrad = Tensor({Bn, NumActions});
+    }
     for (int B = 0; B < Bn; ++B) {
-      const Transition &T = *Batch[B];
-      std::copy(T.State.begin(), T.State.end(), States.sampleData(B));
+      const Transition &T = *BatchPtrs[static_cast<size_t>(B)];
+      std::copy(T.State.begin(), T.State.end(), BatchStates.sampleData(B));
       if (T.NextState.size() == static_cast<size_t>(D))
         std::copy(T.NextState.begin(), T.NextState.end(),
-                  NextStates.sampleData(B));
+                  BatchNext.sampleData(B));
     }
-    Tensor NextQ = Target.forwardBatch(NextStates);
-    Tensor Pred = Online.forwardBatch(States);
-    Tensor Grad({Bn, NumActions});
+    Tensor NextQ = Target.forwardBatch(BatchNext);
+    Tensor Pred = Online.forwardBatch(BatchStates);
+    BatchGrad.fill(0.0f);
     for (int B = 0; B < Bn; ++B) {
-      const Transition &T = *Batch[B];
+      const Transition &T = *BatchPtrs[static_cast<size_t>(B)];
       float Y = T.Reward;
       if (!T.Terminal) {
         const float *Row = NextQ.sampleData(B);
@@ -132,9 +211,9 @@ void QLearner::trainStep() {
       }
       // Huber (delta = 1) derivative at the taken action, as huberLossAt.
       float Diff = Pred.sampleData(B)[T.Action] - Y;
-      Grad.sampleData(B)[T.Action] = std::clamp(Diff, -1.0f, 1.0f);
+      BatchGrad.sampleData(B)[T.Action] = std::clamp(Diff, -1.0f, 1.0f);
     }
-    Online.backwardBatch(Grad);
+    Online.backwardBatch(BatchGrad);
   }
   Opt.step(1.0 / Cfg.BatchSize);
 }

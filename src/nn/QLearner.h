@@ -14,6 +14,15 @@
 /// when the next au_NN arrives, matching the paper's "collect model
 /// inputs/outputs for a window of time, then invoke the training method".
 ///
+/// The multi-actor mode (DESIGN.md §8) generalizes this to K concurrent
+/// rollouts: configureActors(K) shards the replay ring per actor and gives
+/// each actor its own counter-based exploration stream, selectActionsBatch
+/// fuses the K action selections into one forwardBatch, and
+/// observeActor/finishTick split the per-transition recording (safe from
+/// actor threads, disjoint shards) from the global training schedule (run
+/// once per tick on the driving thread). All of it is deterministic at any
+/// thread count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef AU_NN_QLEARNER_H
@@ -21,23 +30,14 @@
 
 #include "nn/Network.h"
 #include "nn/Optimizer.h"
+#include "nn/ReplayBuffer.h"
 #include "support/Rng.h"
 
-#include <deque>
 #include <functional>
 #include <vector>
 
 namespace au {
 namespace nn {
-
-/// One replay transition.
-struct Transition {
-  std::vector<float> State;
-  int Action;
-  float Reward;
-  std::vector<float> NextState;
-  bool Terminal;
-};
 
 /// Hyperparameters for the DQN agent.
 struct QConfig {
@@ -71,23 +71,62 @@ public:
   /// Greedy action (no exploration, no learning side effects).
   int greedyAction(const std::vector<float> &State);
 
-  /// Records a completed transition and runs a training step when due.
-  void observe(const std::vector<float> &State, int Action, float Reward,
-               const std::vector<float> &NextState, bool Terminal);
+  /// Records a completed transition and runs a training step when due. The
+  /// state vectors are taken by value and moved into the replay slot;
+  /// callers that no longer need them should std::move.
+  void observe(std::vector<float> State, int Action, float Reward,
+               std::vector<float> NextState, bool Terminal);
 
   /// Q-values for \p State from the online network.
   std::vector<float> qValues(const std::vector<float> &State);
 
+  //===--------------------------------------------------------------------===//
+  // Multi-actor batched mode (DESIGN.md §8)
+  //===--------------------------------------------------------------------===//
+
+  /// Enters K-actor mode: the replay ring is resharded per actor (dropping
+  /// any stored transitions) and each actor gets its own counter-based
+  /// exploration stream. Grow-only; call before training begins.
+  void configureActors(int NumActors);
+
+  int numActors() const { return static_cast<int>(Streams.size()); }
+
+  /// Epsilon-greedy actions for \p K states of \p D floats each, held back
+  /// to back in \p States (K x D row-major), fused into one forwardBatch
+  /// over the online network. Exploration draws come from the per-actor
+  /// streams in actor order, so the result is independent of how the states
+  /// were produced. Does not decay epsilon; finishTick does.
+  void selectActionsBatch(const float *States, int K, int D, bool Learning,
+                          int *Actions);
+
+  /// Records one completed transition into \p Actor's replay shard.
+  /// Distinct actors may call concurrently; the global step count does not
+  /// advance until finishTick.
+  void observeActor(int Actor, const float *State, size_t StateLen,
+                    int Action, float Reward, const float *NextState,
+                    size_t NextLen, bool Terminal);
+
+  /// Completes one tick in which \p Observed transitions were recorded:
+  /// advances the step count, decays epsilon / anneals the learning rate,
+  /// and runs every training step and target sync that came due — the same
+  /// schedule the serial observe() follows, applied once per tick.
+  void finishTick(int Observed);
+
   double epsilon() const { return Eps; }
   long stepsObserved() const { return Steps; }
+  /// Minibatch training steps run so far (throughput accounting).
+  long trainStepsRun() const { return TrainSteps; }
   size_t replaySize() const { return Replay.size(); }
+  const ShardedReplay &replay() const { return Replay; }
   Network &onlineNetwork() { return Online; }
+  const QConfig &config() const { return Cfg; }
 
   /// Serialized online-model size in bytes (Table 2 "Model Size").
   size_t modelSizeBytes() { return Online.sizeInBytes(); }
 
 private:
   void trainStep();
+  void decaySchedules();
 
   Network Online;
   Network Target;
@@ -95,9 +134,17 @@ private:
   int NumActions;
   QConfig Cfg;
   Rng Rand;
-  std::deque<Transition> Replay;
+  uint64_t Seed;
+  ShardedReplay Replay;
+  std::vector<Rng> Streams; ///< Per-actor exploration streams (K-actor mode).
   double Eps;
   long Steps = 0;
+  long TrainSteps = 0;
+  // Reusable staging for the batched paths: minibatch tensors are assembled
+  // straight from the replay ring and action selection reuses one input
+  // tensor, so the steady state allocates nothing per call.
+  Tensor BatchStates, BatchNext, BatchGrad, ActStaging;
+  std::vector<const Transition *> BatchPtrs;
 };
 
 } // namespace nn

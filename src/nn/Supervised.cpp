@@ -5,6 +5,7 @@
 #include "nn/Gemm.h"
 #include "nn/Loss.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -75,9 +76,36 @@ double SupervisedTrainer::train(int Epochs, int BatchSize, Rng &Rand) {
 
   const bool Batched = backend() == Backend::Gemm;
   size_t NX = Data.front().X.size(), NY = Data.front().Y.size();
-  // Minibatch staging buffers, preallocated once and refilled per batch so
-  // the batched engine makes no per-sample allocations.
-  Tensor XB, YB, GradB;
+  // Double-buffered minibatch staging: while the engine trains on one slot,
+  // a pool worker extracts (normalizes and packs) the next minibatch into
+  // the other (the SL prefetch stage of DESIGN.md §8). The fill is a pure
+  // function of (Data, Order, Start), so overlap cannot change any value;
+  // with no workers the fill simply runs inline before each batch.
+  struct BatchSlot {
+    Tensor X, Y;
+    size_t Bn = 0;
+  };
+  BatchSlot Slots[2];
+  Tensor GradB;
+  auto fillSlot = [&](BatchSlot &S, size_t Start) {
+    size_t Bn =
+        std::min<size_t>(static_cast<size_t>(BatchSize), Order.size() - Start);
+    if (S.X.rank() != 2 || S.X.dim(0) != static_cast<int>(Bn)) {
+      S.X = Tensor({static_cast<int>(Bn), static_cast<int>(NX)});
+      S.Y = Tensor({static_cast<int>(Bn), static_cast<int>(NY)});
+    }
+    S.Bn = Bn;
+    for (size_t R = 0; R != Bn; ++R) {
+      const Sample &Smp = Data[Order[Start + R]];
+      float *XRow = S.X.sampleData(static_cast<int>(R));
+      for (size_t I = 0; I != NX; ++I)
+        XRow[I] = (Smp.X[I] - XMean[I]) / XStd[I];
+      float *YRow = S.Y.sampleData(static_cast<int>(R));
+      for (size_t I = 0; I != NY; ++I)
+        YRow[I] = (Smp.Y[I] - YMean[I]) / YStd[I];
+    }
+  };
+  ThreadPool &Pool = ThreadPool::global();
 
   double EpochLoss = 0.0;
   for (int Ep = 0; Ep < Epochs; ++Ep) {
@@ -88,29 +116,29 @@ double SupervisedTrainer::train(int Epochs, int BatchSize, Rng &Rand) {
     EpochLoss = 0.0;
     if (Batched) {
       // One batched forward/backward per minibatch; gradients accumulate
-      // summed over the batch exactly as the per-sample path does.
-      for (size_t Start = 0; Start < Order.size();
-           Start += static_cast<size_t>(BatchSize)) {
-        size_t Bn =
-            std::min<size_t>(static_cast<size_t>(BatchSize),
-                             Order.size() - Start);
-        if (XB.rank() != 2 || XB.dim(0) != static_cast<int>(Bn)) {
-          XB = Tensor({static_cast<int>(Bn), static_cast<int>(NX)});
-          YB = Tensor({static_cast<int>(Bn), static_cast<int>(NY)});
+      // summed over the batch exactly as the per-sample path does. The
+      // epoch's batch boundaries are fixed before it starts, so slot B+1
+      // can be produced while slot B trains.
+      size_t NumBatches =
+          (Order.size() + static_cast<size_t>(BatchSize) - 1) /
+          static_cast<size_t>(BatchSize);
+      fillSlot(Slots[0], 0);
+      ThreadPool::TaskHandle Prefetch;
+      for (size_t B = 0; B != NumBatches; ++B) {
+        size_t NextStart = (B + 1) * static_cast<size_t>(BatchSize);
+        if (NextStart < Order.size()) {
+          BatchSlot *NextSlot = &Slots[(B + 1) % 2];
+          Prefetch = Pool.async([&fillSlot, NextSlot, NextStart] {
+            fillSlot(*NextSlot, NextStart);
+          });
         }
-        for (size_t R = 0; R != Bn; ++R) {
-          const Sample &S = Data[Order[Start + R]];
-          float *XRow = XB.sampleData(static_cast<int>(R));
-          for (size_t I = 0; I != NX; ++I)
-            XRow[I] = (S.X[I] - XMean[I]) / XStd[I];
-          float *YRow = YB.sampleData(static_cast<int>(R));
-          for (size_t I = 0; I != NY; ++I)
-            YRow[I] = (S.Y[I] - YMean[I]) / YStd[I];
-        }
-        Tensor Pred = Net.forwardBatch(XB);
-        EpochLoss += mseLossBatch(Pred, YB, GradB);
+        BatchSlot &S = Slots[B % 2];
+        Tensor Pred = Net.forwardBatch(S.X);
+        EpochLoss += mseLossBatch(Pred, S.Y, GradB);
         Net.backwardBatch(GradB);
-        Opt.step(1.0 / static_cast<double>(Bn));
+        Opt.step(1.0 / static_cast<double>(S.Bn));
+        if (Prefetch.valid())
+          Prefetch.wait(); // The next slot must be complete before use.
       }
     } else {
       size_t InBatch = 0;

@@ -45,7 +45,10 @@ public:
 
   /// Trains for \p Epochs passes with the given minibatch size, shuffling
   /// with \p Rand each epoch. Returns the final epoch's mean loss
-  /// (normalized space). No-op (returns 0) on an empty dataset.
+  /// (normalized space). No-op (returns 0) on an empty dataset. Under the
+  /// batched engine, minibatch extraction (normalize + pack) is double
+  /// buffered: a pool worker prepares batch N+1 while batch N trains, with
+  /// bitwise-identical results to the serial schedule.
   double train(int Epochs, int BatchSize, Rng &Rand);
 
   /// Predicts the de-normalized target values for raw features \p X.

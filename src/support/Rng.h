@@ -22,9 +22,26 @@
 namespace au {
 
 /// Deterministic SplitMix64-based random number generator.
+///
+/// SplitMix64 is counter-based: the state only ever advances by a fixed
+/// increment, so the i-th output is a pure function of (seed, i). That makes
+/// it cheap to derive decorrelated per-actor streams (see stream()) whose
+/// sequences depend only on the base seed and the stream id — never on
+/// which thread consumed them first.
 class Rng {
 public:
   explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  /// Derives stream \p StreamId from \p Seed: the id is folded into the
+  /// seed and run through the SplitMix64 output permutation, giving each
+  /// stream a well-separated starting counter. Used for per-actor
+  /// exploration streams in the parallel rollout engine.
+  static Rng stream(uint64_t Seed, uint64_t StreamId) {
+    uint64_t Z = Seed + 0x9e3779b97f4a7c15ull * (StreamId + 1);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Rng(Z ^ (Z >> 31));
+  }
 
   /// Returns the next raw 64-bit value.
   uint64_t next() {

@@ -87,6 +87,47 @@ void ThreadPool::workerLoop() {
   }
 }
 
+ThreadPool::TaskHandle ThreadPool::async(std::function<void()> Fn) {
+  TaskHandle H;
+  if (Workers.empty()) {
+    Fn(); // No workers: run inline; wait() becomes a no-op.
+    return H;
+  }
+  auto J = std::make_shared<Job>();
+  J->Body = [F = std::move(Fn)](size_t, size_t) { F(); };
+  J->Begin = 0;
+  J->End = 1;
+  J->Grain = 1;
+  J->NumChunks = 1;
+  {
+    std::lock_guard<std::mutex> G(QueueM);
+    Queue.push_back(J);
+  }
+  QueueCv.notify_one();
+  H.J = std::move(J);
+  H.Pool = this;
+  return H;
+}
+
+void ThreadPool::TaskHandle::wait() {
+  if (!J)
+    return;
+  {
+    std::unique_lock<std::mutex> Lk(J->M);
+    J->Cv.wait(Lk, [&] {
+      return J->Done.load(std::memory_order_acquire) == J->NumChunks;
+    });
+  }
+  {
+    // Retire the job so workers never observe a stale head entry.
+    std::lock_guard<std::mutex> G(Pool->QueueM);
+    auto It = std::find(Pool->Queue.begin(), Pool->Queue.end(), J);
+    if (It != Pool->Queue.end())
+      Pool->Queue.erase(It);
+  }
+  J.reset();
+}
+
 void ThreadPool::parallelFor(size_t Begin, size_t End, size_t Grain,
                              const std::function<void(size_t, size_t)> &Body) {
   if (Begin >= End)

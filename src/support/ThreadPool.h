@@ -28,6 +28,7 @@
 #ifndef AU_SUPPORT_THREADPOOL_H
 #define AU_SUPPORT_THREADPOOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -53,6 +54,34 @@ public:
 
   int numThreads() const { return Threads; }
 
+  /// Whether async() can actually overlap work with the caller (a pool of
+  /// one thread runs submitted tasks inline).
+  bool hasWorkers() const { return !Workers.empty(); }
+
+  struct Job;
+
+  /// Handle for a task submitted with async().
+  class TaskHandle {
+    friend class ThreadPool;
+
+  public:
+    /// Blocks until the task finishes (no-op for a task that ran inline).
+    void wait();
+    bool valid() const { return J != nullptr; }
+
+  private:
+    std::shared_ptr<Job> J;
+    ThreadPool *Pool = nullptr;
+  };
+
+  /// Submits \p Fn to run once on a worker thread and returns immediately.
+  /// With no workers the task runs inline before returning, so callers that
+  /// need genuine overlap (producer/consumer pipelines) should check
+  /// hasWorkers() and fall back to a serial schedule. Tasks may issue
+  /// parallelFor; it runs inline on the worker (nested-region rule), so a
+  /// producer can never deadlock the pool.
+  TaskHandle async(std::function<void()> Fn);
+
   /// Runs \p Body over [Begin, End), partitioned into chunks of at most
   /// \p Grain iterations. Body receives half-open sub-ranges. Chunk
   /// boundaries are a pure function of the range and grain, so any
@@ -69,7 +98,6 @@ public:
   /// race with parallel work; intended for tests and benchmarks.
   static void setGlobalThreads(int NumThreads);
 
-private:
   struct Job {
     std::function<void(size_t, size_t)> Body;
     size_t Begin = 0;
@@ -82,6 +110,7 @@ private:
     std::condition_variable Cv;
   };
 
+private:
   void workerLoop();
   static void help(Job &J);
 

@@ -87,6 +87,36 @@ TEST(DependenceGraphTest, BfsDistanceFindsNearestTarget) {
   EXPECT_EQ(G.bfsDistanceToAny(G.lookup("d"), {G.lookup("a")}), -1);
 }
 
+TEST(DependenceGraphTest, PredecessorsMirrorEdges) {
+  DependenceGraph G;
+  G.addEdge("a", "c");
+  G.addEdge("b", "c");
+  G.addEdge("a", "c"); // Duplicate must not duplicate the reverse edge.
+  const std::vector<NodeId> &P = G.predecessors(G.lookup("c"));
+  ASSERT_EQ(P.size(), 2u);
+  EXPECT_EQ(P[0], G.lookup("a")); // Edge insertion order.
+  EXPECT_EQ(P[1], G.lookup("b"));
+  EXPECT_TRUE(G.predecessors(G.lookup("a")).empty());
+}
+
+TEST(DependenceGraphTest, ReachabilityCacheSurvivesMutation) {
+  // Queries memoize reachability; mutating the graph afterwards must
+  // invalidate the cache so later queries see the new edges and nodes.
+  DependenceGraph G;
+  G.addEdge("a", "b");
+  EXPECT_FALSE(G.dependsOn(G.lookup("a"), G.lookup("b")));
+  EXPECT_EQ(G.dependents(G.lookup("a")).size(), 1u); // Populates the cache.
+  G.addEdge("b", "c");
+  EXPECT_EQ(G.dependents(G.lookup("a")).size(), 2u);
+  G.addEdge("c", "a"); // Close a cycle through a new node.
+  EXPECT_TRUE(G.dependsOn(G.lookup("b"), G.lookup("a")));
+  EXPECT_EQ(G.dependents(G.lookup("a")).size(), 3u); // a via the cycle.
+  // Repeated queries on the frozen graph hit the cache and stay correct
+  // (Algorithm 2's O(|V|^2) correlation loop).
+  for (int I = 0; I < 3; ++I)
+    EXPECT_TRUE(G.shareDependent(G.lookup("a"), G.lookup("b")));
+}
+
 //===----------------------------------------------------------------------===//
 // Tracer
 //===----------------------------------------------------------------------===//

@@ -80,6 +80,39 @@ TEST_F(NnKernelsTest, ParallelForCoversRangeExactlyOnce) {
   }
 }
 
+TEST_F(NnKernelsTest, AsyncTaskRunsAndWaitCompletes) {
+  for (int Threads : {1, 4}) {
+    ThreadPool Pool(Threads);
+    std::atomic<int> Ran{0};
+    ThreadPool::TaskHandle H = Pool.async([&] { Ran.fetch_add(1); });
+    H.wait();
+    EXPECT_EQ(Ran.load(), 1) << "threads=" << Threads;
+    // With no workers (Threads == 1) the task runs inline and the handle
+    // is already invalid; either way wait() is idempotent.
+    H.wait();
+    EXPECT_FALSE(H.valid());
+  }
+}
+
+TEST_F(NnKernelsTest, AsyncTaskMayIssueParallelFor) {
+  // The SL prefetch producer normalizes batches with parallelFor from
+  // inside an async task; the nested region must run inline rather than
+  // deadlock the pool.
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Hits(256);
+  for (auto &H : Hits)
+    H = 0;
+  ThreadPool::TaskHandle T = Pool.async([&] {
+    Pool.parallelFor(0, Hits.size(), 16, [&](size_t B, size_t E) {
+      for (size_t I = B; I != E; ++I)
+        ++Hits[I];
+    });
+  });
+  T.wait();
+  for (size_t I = 0; I != Hits.size(); ++I)
+    ASSERT_EQ(Hits[I], 1) << "index=" << I;
+}
+
 TEST_F(NnKernelsTest, ShardedSumMatchesSerialAtAnyThreadCount) {
   std::vector<float> Items(1237);
   Rng Rand(7);
