@@ -1,15 +1,17 @@
 //===- bench/nn_kernels.cpp - NN compute-engine micro-benchmarks ---------===//
 //
-// Measures the batched GEMM/im2col engine against the scalar reference
-// backend on the repo's real model shapes (Canny Raw 32x32 frames, the RL
-// harness 20x20 frames, and the dense heads), plus an end-to-end supervised
-// epoch. Prints one JSON line per case:
+// Measures the batched compute engines (blocked-scalar and AVX2/FMA simd)
+// against the scalar reference backend on the repo's real model shapes
+// (Canny Raw 32x32 frames, the RL harness 20x20 frames, and the dense
+// heads), plus an end-to-end supervised epoch. Prints one JSON line per
+// case:
 //
 //   {"bench": "...", "backend": "...", "threads": N, "ns_per_iter": ...}
 //
 // followed by a speedup line per case, so the perf trajectory can be
-// tracked across PRs. Thread counts swept: 1 and 4 (plus AU_NN_THREADS if
-// set to something else).
+// tracked across PRs. The simd rows only appear when the CPU supports
+// AVX2+FMA. Thread counts swept: 1 and 4 (plus AU_NN_THREADS if set to
+// something else).
 //
 //===----------------------------------------------------------------------===//
 
@@ -54,12 +56,21 @@ void printCase(const std::string &Bench, const std::string &BackendName,
   std::fflush(stdout);
 }
 
-void printSpeedup(const std::string &Bench, int Threads, double Naive,
-                  double Batched) {
-  std::printf("{\"bench\": \"%s\", \"threads\": %d, "
+void printSpeedup(const std::string &Bench, const std::string &BackendName,
+                  int Threads, double Naive, double Batched) {
+  std::printf("{\"bench\": \"%s\", \"backend\": \"%s\", \"threads\": %d, "
               "\"speedup_vs_naive\": %.2f}\n",
-              Bench.c_str(), Threads, Naive / Batched);
+              Bench.c_str(), BackendName.c_str(), Threads, Naive / Batched);
   std::fflush(stdout);
+}
+
+/// The batched engines to sweep: always blocked, plus simd where the CPU
+/// supports it.
+std::vector<Backend> batchedBackends() {
+  std::vector<Backend> Bs = {Backend::Blocked};
+  if (simdSupported())
+    Bs.push_back(Backend::Simd);
+  return Bs;
 }
 
 Tensor randomBatch(std::vector<int> Shape, Rng &Rand) {
@@ -99,6 +110,16 @@ double benchLayerBatched(L &Layer, const Tensor &In, const Tensor &GradOut) {
   return Ns / BN;
 }
 
+template <typename L>
+double benchLayerForwardOnly(L &Layer, const Tensor &In) {
+  int BN = In.dim(0);
+  double Ns = timeNs([&] {
+    Tensor Y = Layer.forwardBatch(In);
+    Sink = Y[0];
+  });
+  return Ns / BN;
+}
+
 void benchConvCase(const std::string &Name, int InC, int OutC, int K, int S,
                    int H, int W, int BN, const std::vector<int> &ThreadsSet) {
   Rng Rand(1);
@@ -108,14 +129,43 @@ void benchConvCase(const std::string &Name, int InC, int OutC, int K, int S,
   Tensor G = randomBatch({BN, OutC, convOutDim(H, K, S),
                           convOutDim(W, K, S)}, Rand);
   ThreadPool::setGlobalThreads(1);
+  setBackend(Backend::Naive);
   double Naive = benchLayerNaive(Conv, In, G);
   printCase(Name, "naive", 1, Naive);
-  for (int T : ThreadsSet) {
-    ThreadPool::setGlobalThreads(T);
-    double Batched = benchLayerBatched(Conv, In, G);
-    printCase(Name, "gemm", T, Batched);
-    printSpeedup(Name, T, Naive, Batched);
+  for (Backend B : batchedBackends()) {
+    setBackend(B);
+    for (int T : ThreadsSet) {
+      ThreadPool::setGlobalThreads(T);
+      double Batched = benchLayerBatched(Conv, In, G);
+      printCase(Name, backendName(B), T, Batched);
+      printSpeedup(Name, backendName(B), T, Naive, Batched);
+    }
   }
+}
+
+/// Conv2D forward only (the TS-mode inference path): pre-packed weights and
+/// the workspace arena are what this isolates, so blocked-vs-simd here is
+/// the PR's headline kernel speedup.
+void benchConvForwardCase(const std::string &Name, int InC, int OutC, int K,
+                          int S, int H, int W, int BN) {
+  Rng Rand(1);
+  Rng WRand(2);
+  Conv2D Conv(InC, OutC, K, S, WRand);
+  Tensor In = randomBatch({BN, InC, H, W}, Rand);
+  ThreadPool::setGlobalThreads(1);
+  double Blocked = 0.0;
+  for (Backend B : batchedBackends()) {
+    setBackend(B);
+    double Ns = benchLayerForwardOnly(Conv, In);
+    printCase(Name, backendName(B), 1, Ns);
+    if (B == Backend::Blocked)
+      Blocked = Ns;
+    else if (B == Backend::Simd)
+      std::printf("{\"bench\": \"%s\", \"threads\": 1, "
+                  "\"simd_speedup_vs_blocked\": %.2f}\n",
+                  Name.c_str(), Blocked / Ns);
+  }
+  std::fflush(stdout);
 }
 
 void benchDenseCase(const std::string &Name, int InSz, int OutSz, int BN,
@@ -126,13 +176,17 @@ void benchDenseCase(const std::string &Name, int InSz, int OutSz, int BN,
   Tensor In = randomBatch({BN, InSz}, Rand);
   Tensor G = randomBatch({BN, OutSz}, Rand);
   ThreadPool::setGlobalThreads(1);
+  setBackend(Backend::Naive);
   double Naive = benchLayerNaive(D, In, G);
   printCase(Name, "naive", 1, Naive);
-  for (int T : ThreadsSet) {
-    ThreadPool::setGlobalThreads(T);
-    double Batched = benchLayerBatched(D, In, G);
-    printCase(Name, "gemm", T, Batched);
-    printSpeedup(Name, T, Naive, Batched);
+  for (Backend B : batchedBackends()) {
+    setBackend(B);
+    for (int T : ThreadsSet) {
+      ThreadPool::setGlobalThreads(T);
+      double Batched = benchLayerBatched(D, In, G);
+      printCase(Name, backendName(B), T, Batched);
+      printSpeedup(Name, backendName(B), T, Naive, Batched);
+    }
   }
 }
 
@@ -157,21 +211,21 @@ void benchEndToEndEpoch(const std::vector<int> &ThreadsSet) {
   const std::string Name = "canny_raw_epoch";
   setBackend(Backend::Naive);
   ThreadPool::setGlobalThreads(1);
-  {
-    SupervisedTrainer Trainer = MakeTrainer();
-    Rng TrainRand(5);
-    double Naive = timeNs([&] { Trainer.train(1, BatchSize, TrainRand); },
-                          1, 0.5);
-    printCase(Name, "naive", 1, Naive);
-    setBackend(Backend::Gemm);
+  SupervisedTrainer Trainer = MakeTrainer();
+  Rng TrainRand(5);
+  double Naive = timeNs([&] { Trainer.train(1, BatchSize, TrainRand); },
+                        1, 0.5);
+  printCase(Name, "naive", 1, Naive);
+  for (Backend B : batchedBackends()) {
+    setBackend(B);
     for (int T : ThreadsSet) {
       ThreadPool::setGlobalThreads(T);
       SupervisedTrainer Fast = MakeTrainer();
       Rng FastRand(5);
       double Batched = timeNs([&] { Fast.train(1, BatchSize, FastRand); },
                               1, 0.5);
-      printCase(Name, "gemm", T, Batched);
-      printSpeedup(Name, T, Naive, Batched);
+      printCase(Name, backendName(B), T, Batched);
+      printSpeedup(Name, backendName(B), T, Naive, Batched);
     }
   }
 }
@@ -180,7 +234,6 @@ void benchEndToEndEpoch(const std::vector<int> &ThreadsSet) {
 
 int main() {
   std::vector<int> ThreadsSet = {1, 4};
-  setBackend(Backend::Gemm);
 
   // Conv2D fwd+bwd on the repo's two CNN stage shapes, for the Canny Raw
   // 32x32 input and the RL harness 20x20 frame.
@@ -188,6 +241,10 @@ int main() {
   benchConvCase("conv_fwd_bwd_canny_s2", 8, 16, 3, 1, 15, 15, 16, ThreadsSet);
   benchConvCase("conv_fwd_bwd_mario_s1", 1, 8, 3, 1, 20, 20, 16, ThreadsSet);
   benchConvCase("conv_fwd_bwd_mario_s2", 8, 16, 3, 1, 9, 9, 16, ThreadsSet);
+
+  // Forward-only conv (inference path): blocked vs simd at one thread.
+  benchConvForwardCase("conv_fwd_canny_s2", 8, 16, 3, 1, 15, 15, 16);
+  benchConvForwardCase("conv_fwd_mario_s2", 8, 16, 3, 1, 9, 9, 16);
 
   // Dense fwd+bwd on the paper's common head shapes.
   benchDenseCase("dense_fwd_bwd_256x64", 256, 64, 32, ThreadsSet);

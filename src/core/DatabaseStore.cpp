@@ -31,6 +31,23 @@ NameId DatabaseStore::intern(std::string_view Name) {
 // Handle-keyed primitives (the append/reset pair is inline in the header)
 //===----------------------------------------------------------------------===//
 
+void DatabaseStore::appendSlow(Slot &S, const float *Values, size_t N) {
+  if (S.Lazy)
+    materialize(S); // Appending to a serialized entry: concretize first.
+  if (!S.Mapped) {
+    S.Data.clear(); // Fresh list over the retained buffer.
+    S.Mapped = true;
+    ++S.WriteGen;
+    if (S.Data.capacity() < N)
+      S.Data.reserve(N);
+  } else if (S.Data.size() + N > S.Data.capacity()) {
+    ++S.WriteGen; // Growth reallocates: span pointers die.
+  }
+  S.Data.insert(S.Data.end(), Values, Values + N);
+  touch(S);
+  Appended += N;
+}
+
 const std::vector<float> &DatabaseStore::get(NameId Id) const {
   const Slot &S = slot(Id);
   if (!S.Mapped)

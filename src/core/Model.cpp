@@ -118,6 +118,9 @@ bool readParams(BinFile &B, nn::Network &Net) {
       return false;
     std::memcpy(P.Values, V.data(), P.Count * sizeof(float));
   }
+  // θ changed behind the layers' backs (au_restore / model load):
+  // invalidate every packed-weight cache.
+  Net.bumpParamGeneration();
   return true;
 }
 

@@ -1,11 +1,13 @@
-//===- nn/Gemm.cpp - Blocked SGEMM and im2col kernels --------------------===//
+//===- nn/Gemm.cpp - Backend dispatch, SGEMM, and im2col kernels ---------===//
 
 #include "nn/Gemm.h"
 
+#include "nn/GemmSimdKernels.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <vector>
@@ -17,20 +19,43 @@ using namespace au::nn;
 // Backend selection
 //===----------------------------------------------------------------------===//
 
+bool au::nn::simdSupported() {
+#if defined(AU_NN_HAVE_SIMD) && (defined(__x86_64__) || defined(__i386__))
+  static const bool Supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return Supported;
+#else
+  return false;
+#endif
+}
+
 namespace {
+
+Backend clampToHardware(Backend B) {
+  if (B == Backend::Simd && !simdSupported())
+    return Backend::Blocked;
+  return B;
+}
 
 Backend readBackendFromEnv() {
   const char *Env = std::getenv("AU_NN_BACKEND");
-  if (Env && std::strcmp(Env, "naive") == 0)
-    return Backend::Naive;
-  return Backend::Gemm;
+  if (Env) {
+    if (std::strcmp(Env, "naive") == 0)
+      return Backend::Naive;
+    if (std::strcmp(Env, "blocked") == 0 || std::strcmp(Env, "gemm") == 0)
+      return Backend::Blocked;
+    if (std::strcmp(Env, "simd") == 0)
+      return clampToHardware(Backend::Simd);
+  }
+  return clampToHardware(Backend::Simd);
 }
 
 Backend ActiveBackend = readBackendFromEnv();
 
-// Per-thread packing scratch for transposed operands. Packing happens on the
-// thread issuing the GEMM (before any parallel region), so concurrent GEMMs
-// from different pool workers never share a buffer.
+// Per-thread packing scratch. Packing happens on the thread issuing the GEMM
+// (before any parallel region), so concurrent GEMMs from different pool
+// workers never share a buffer; capacity persists, so steady-state calls do
+// not allocate.
 thread_local std::vector<float> PackABuf;
 thread_local std::vector<float> PackBBuf;
 
@@ -44,45 +69,58 @@ void packTranspose(const float *Src, int Rows, int Cols, int Ld, float *Dst) {
   }
 }
 
+/// Grows \p Buf without shrinking so its capacity converges on the session
+/// high-water mark.
+float *reserveScratch(std::vector<float> &Buf, size_t N) {
+  if (Buf.size() < N)
+    Buf.resize(N);
+  return Buf.data();
+}
+
 } // namespace
 
 Backend au::nn::backend() { return ActiveBackend; }
 
-void au::nn::setBackend(Backend B) { ActiveBackend = B; }
+Backend au::nn::defaultBackend() {
+  static const Backend Default = readBackendFromEnv();
+  return Default;
+}
+
+void au::nn::setBackend(Backend B) { ActiveBackend = clampToHardware(B); }
+
+const char *au::nn::backendName(Backend B) {
+  switch (B) {
+  case Backend::Simd:
+    return "simd";
+  case Backend::Blocked:
+    return "blocked";
+  case Backend::Naive:
+    return "naive";
+  }
+  return "unknown";
+}
+
+Backend au::nn::packEngine() {
+  // The naive backend keeps layers on their scalar per-sample paths; any
+  // explicit sgemm call it still issues runs the blocked kernel.
+  return ActiveBackend == Backend::Simd ? Backend::Simd : Backend::Blocked;
+}
+
+bool au::nn::simdKernelsActive() { return ActiveBackend == Backend::Simd; }
 
 //===----------------------------------------------------------------------===//
-// SGEMM
+// Blocked-scalar SGEMM (portable fallback; reference rounding for tests)
 //===----------------------------------------------------------------------===//
 
-void au::nn::sgemm(bool TransA, bool TransB, int M, int N, int K, float Alpha,
-                   const float *A, int Lda, const float *B, int Ldb,
-                   float Beta, float *C, int Ldc) {
-  assert(M >= 0 && N >= 0 && K >= 0 && "negative GEMM extents");
-  if (M == 0 || N == 0)
-    return;
+namespace {
 
-  // Normalize both operands to row-major op(A)[M][K] / op(B)[K][N] so the
-  // kernel below always streams unit-stride rows.
-  const float *AP = A;
-  int ALd = Lda;
-  if (TransA) {
-    PackABuf.resize(static_cast<size_t>(M) * K);
-    packTranspose(A, K, M, Lda, PackABuf.data());
-    AP = PackABuf.data();
-    ALd = K;
-  }
-  const float *BP = B;
-  int BLd = Ldb;
-  if (TransB) {
-    PackBBuf.resize(static_cast<size_t>(K) * N);
-    packTranspose(B, N, K, Ldb, PackBBuf.data());
-    BP = PackBBuf.data();
-    BLd = N;
-  }
-
-  // Blocked row-parallel kernel: each task owns whole rows of C, blocks over
-  // K so the touched slice of B stays cache-resident, and accumulates every
-  // C element in ascending-k order — bitwise identical at any thread count.
+/// Row-major op(A)[M][K] * op(B)[K][N] over already-normalized operands.
+/// Each task owns whole rows of C, blocks over K so the touched slice of B
+/// stays cache-resident, and accumulates every C element in ascending-k
+/// order — bitwise identical at any thread count.
+void sgemmBlockedCore(int M, int N, int K, float Alpha, const float *AP,
+                      int ALd, const float *BP, int BLd, float Beta, float *C,
+                      int Ldc) {
   constexpr int KBlock = 256;
   size_t FlopsPerRow = static_cast<size_t>(std::max(1, K)) * N;
   size_t Grain = std::max<size_t>(1, 32768 / FlopsPerRow);
@@ -126,12 +164,294 @@ void au::nn::sgemm(bool TransA, bool TransB, int M, int N, int K, float Alpha,
   });
 }
 
+/// Panel-packed simd GEMM core: row panels of 6 are distributed across the
+/// pool; panel boundaries are a pure function of M, and each C element is one
+/// k-ascending FMA chain, so results are thread-count independent. BiasRow,
+/// when non-null, seeds each output row's accumulators (conv forward fusion;
+/// requires Alpha == 1, Beta == 0).
+void sgemmSimdCore(int M, int N, int K, float Alpha, const float *APanels,
+                   const float *BPanels, float Beta, float *C, int Ldc,
+                   const float *BiasRow = nullptr) {
+  size_t NPanels = static_cast<size_t>(simd::numAPanels(M));
+  size_t FlopsPerPanel =
+      static_cast<size_t>(simd::MR) * std::max(1, K) * std::max(1, N);
+  size_t Grain = std::max<size_t>(1, 262144 / FlopsPerPanel);
+  ThreadPool::global().parallelFor(0, NPanels, Grain,
+                                   [&](size_t PB, size_t PE) {
+    simd::microKernelRange(static_cast<int>(PB), static_cast<int>(PE), M, N,
+                           K, Alpha, APanels, BPanels, Beta, BiasRow, C, Ldc);
+  });
+}
+
+/// Scales C by Beta (the K == 0 degenerate case, where no product term
+/// exists and the packed-panel kernels would be called with empty panels).
+void scaleC(int M, int N, float Beta, float *C, int Ldc) {
+  for (int I = 0; I < M; ++I) {
+    float *CRow = C + static_cast<size_t>(I) * Ldc;
+    if (Beta == 0.0f)
+      std::fill(CRow, CRow + N, 0.0f);
+    else if (Beta != 1.0f)
+      for (int J = 0; J < N; ++J)
+        CRow[J] *= Beta;
+  }
+}
+
+} // namespace
+
+void au::nn::sgemm(bool TransA, bool TransB, int M, int N, int K, float Alpha,
+                   const float *A, int Lda, const float *B, int Ldb,
+                   float Beta, float *C, int Ldc) {
+  assert(M >= 0 && N >= 0 && K >= 0 && "negative GEMM extents");
+  if (M == 0 || N == 0)
+    return;
+  if (K == 0) {
+    scaleC(M, N, Beta, C, Ldc);
+    return;
+  }
+
+  if (packEngine() == Backend::Simd) {
+    float *AP = reserveScratch(PackABuf, simd::aPanelsSize(M, K));
+    simd::packAPanels(A, Lda, TransA, M, K, AP);
+    float *BP = reserveScratch(PackBBuf, simd::bPanelsSize(K, N));
+    simd::packBPanels(B, Ldb, TransB, K, N, BP);
+    sgemmSimdCore(M, N, K, Alpha, AP, BP, Beta, C, Ldc);
+    return;
+  }
+
+  // Normalize both operands to row-major op(A)[M][K] / op(B)[K][N] so the
+  // blocked kernel always streams unit-stride rows.
+  const float *AP = A;
+  int ALd = Lda;
+  if (TransA) {
+    float *Buf = reserveScratch(PackABuf, static_cast<size_t>(M) * K);
+    packTranspose(A, K, M, Lda, Buf);
+    AP = Buf;
+    ALd = K;
+  }
+  const float *BP = B;
+  int BLd = Ldb;
+  if (TransB) {
+    float *Buf = reserveScratch(PackBBuf, static_cast<size_t>(K) * N);
+    packTranspose(B, N, K, Ldb, Buf);
+    BP = Buf;
+    BLd = N;
+  }
+  sgemmBlockedCore(M, N, K, Alpha, AP, ALd, BP, BLd, Beta, C, Ldc);
+}
+
+//===----------------------------------------------------------------------===//
+// Pre-packed operands
+//===----------------------------------------------------------------------===//
+
+void au::nn::ensurePackedA(PackedOperand &P, uint64_t Gen, bool TransA, int M,
+                           int K, const float *A, int Lda) {
+  Backend Engine = packEngine();
+  if (P.fresh(Engine, Gen) && P.Rows == M && P.Cols == K)
+    return;
+  P.Rows = M;
+  P.Cols = K;
+  P.For = Engine;
+  P.Gen = Gen;
+  P.Present = true;
+  if (Engine == Backend::Simd) {
+    size_t Need = simd::aPanelsSize(M, K);
+    if (P.Data.size() < Need)
+      P.Data.resize(Need);
+    simd::packAPanels(A, Lda, TransA, M, K, P.Data.data());
+    return;
+  }
+  // Blocked layout: plain row-major op(A)[M][K].
+  size_t Need = static_cast<size_t>(M) * K;
+  if (P.Data.size() < Need)
+    P.Data.resize(Need);
+  if (TransA)
+    packTranspose(A, K, M, Lda, P.Data.data());
+  else
+    for (int I = 0; I < M; ++I)
+      std::memcpy(P.Data.data() + static_cast<size_t>(I) * K,
+                  A + static_cast<size_t>(I) * Lda, sizeof(float) * K);
+}
+
+void au::nn::ensurePackedB(PackedOperand &P, uint64_t Gen, bool TransB, int K,
+                           int N, const float *B, int Ldb) {
+  Backend Engine = packEngine();
+  if (P.fresh(Engine, Gen) && P.Rows == K && P.Cols == N)
+    return;
+  P.Rows = K;
+  P.Cols = N;
+  P.For = Engine;
+  P.Gen = Gen;
+  P.Present = true;
+  if (Engine == Backend::Simd) {
+    size_t Need = simd::bPanelsSize(K, N);
+    if (P.Data.size() < Need)
+      P.Data.resize(Need);
+    simd::packBPanels(B, Ldb, TransB, K, N, P.Data.data());
+    return;
+  }
+  size_t Need = static_cast<size_t>(K) * N;
+  if (P.Data.size() < Need)
+    P.Data.resize(Need);
+  if (TransB)
+    packTranspose(B, N, K, Ldb, P.Data.data());
+  else
+    for (int I = 0; I < K; ++I)
+      std::memcpy(P.Data.data() + static_cast<size_t>(I) * N,
+                  B + static_cast<size_t>(I) * Ldb, sizeof(float) * N);
+}
+
+void au::nn::sgemmPackedA(const PackedOperand &PA, bool TransB, int M, int N,
+                          int K, float Alpha, const float *B, int Ldb,
+                          float Beta, float *C, int Ldc) {
+  assert(PA.Present && PA.For == packEngine() && "stale packed operand");
+  assert(PA.Rows == M && PA.Cols == K && "packed operand extent mismatch");
+  if (M == 0 || N == 0)
+    return;
+  if (K == 0) {
+    scaleC(M, N, Beta, C, Ldc);
+    return;
+  }
+  if (PA.For == Backend::Simd) {
+    float *BP = reserveScratch(PackBBuf, simd::bPanelsSize(K, N));
+    simd::packBPanels(B, Ldb, TransB, K, N, BP);
+    sgemmSimdCore(M, N, K, Alpha, PA.Data.data(), BP, Beta, C, Ldc);
+    return;
+  }
+  const float *BP = B;
+  int BLd = Ldb;
+  if (TransB) {
+    float *Buf = reserveScratch(PackBBuf, static_cast<size_t>(K) * N);
+    packTranspose(B, N, K, Ldb, Buf);
+    BP = Buf;
+    BLd = N;
+  }
+  sgemmBlockedCore(M, N, K, Alpha, PA.Data.data(), K, BP, BLd, Beta, C, Ldc);
+}
+
+void au::nn::sgemmPackedB(bool TransA, const PackedOperand &PB, int M, int N,
+                          int K, float Alpha, const float *A, int Lda,
+                          float Beta, float *C, int Ldc) {
+  assert(PB.Present && PB.For == packEngine() && "stale packed operand");
+  assert(PB.Rows == K && PB.Cols == N && "packed operand extent mismatch");
+  if (M == 0 || N == 0)
+    return;
+  if (K == 0) {
+    scaleC(M, N, Beta, C, Ldc);
+    return;
+  }
+  if (PB.For == Backend::Simd) {
+    float *AP = reserveScratch(PackABuf, simd::aPanelsSize(M, K));
+    simd::packAPanels(A, Lda, TransA, M, K, AP);
+    sgemmSimdCore(M, N, K, Alpha, AP, PB.Data.data(), Beta, C, Ldc);
+    return;
+  }
+  const float *AP = A;
+  int ALd = Lda;
+  if (TransA) {
+    float *Buf = reserveScratch(PackABuf, static_cast<size_t>(M) * K);
+    packTranspose(A, K, M, Lda, Buf);
+    AP = Buf;
+    ALd = K;
+  }
+  sgemmBlockedCore(M, N, K, Alpha, AP, ALd, PB.Data.data(), N, Beta, C, Ldc);
+}
+
+//===----------------------------------------------------------------------===//
+// Elementwise kernels
+//===----------------------------------------------------------------------===//
+
+void au::nn::reluForwardKernel(float *Y, size_t N) {
+  if (simdKernelsActive()) {
+    simd::reluForwardAvx(Y, N);
+    return;
+  }
+  for (size_t I = 0; I != N; ++I)
+    Y[I] = Y[I] > 0.0f ? Y[I] : 0.0f;
+}
+
+void au::nn::reluBackwardKernel(float *G, const float *X, size_t N) {
+  if (simdKernelsActive()) {
+    simd::reluBackwardAvx(G, X, N);
+    return;
+  }
+  for (size_t I = 0; I != N; ++I)
+    if (X[I] <= 0.0f)
+      G[I] = 0.0f;
+}
+
+void au::nn::biasAddRowsKernel(float *Y, const float *Bias, int Rows,
+                               int Cols) {
+  if (simdKernelsActive()) {
+    simd::biasAddRowsAvx(Y, Bias, Rows, Cols);
+    return;
+  }
+  for (int R = 0; R < Rows; ++R)
+    std::memcpy(Y + static_cast<size_t>(R) * Cols, Bias,
+                sizeof(float) * Cols);
+}
+
+double au::nn::mseBatchKernel(const float *P, const float *T, float *G,
+                              int Rows, int Cols) {
+  if (simdKernelsActive())
+    return simd::mseBatchAvx(P, T, G, Rows, Cols);
+  // Scalar reference: accumulation order and rounding match the original
+  // per-element loop bitwise (each term is scaled by InvN before summing).
+  double Loss = 0.0;
+  double InvN = 1.0 / Cols;
+  for (int R = 0; R < Rows; ++R) {
+    size_t Base = static_cast<size_t>(R) * Cols;
+    double RowSum = 0.0;
+    for (int I = 0; I < Cols; ++I) {
+      double D = static_cast<double>(P[Base + I]) - T[Base + I];
+      RowSum += D * D * InvN;
+      G[Base + I] = static_cast<float>(2.0 * D * InvN);
+    }
+    Loss += RowSum;
+  }
+  return Loss;
+}
+
+void au::nn::adamUpdateKernel(float *W, float *G, float *M, float *V,
+                              size_t N, float Lr, float B1, float B2,
+                              float Eps, float InvBias1, float InvBias2,
+                              float Scale) {
+  if (simdKernelsActive()) {
+    simd::adamUpdateAvx(W, G, M, V, N, Lr, B1, B2, Eps, InvBias1, InvBias2,
+                        Scale);
+    return;
+  }
+  for (size_t I = 0; I != N; ++I) {
+    float Gs = G[I] * Scale;
+    M[I] = B1 * M[I] + (1.0f - B1) * Gs;
+    V[I] = B2 * V[I] + (1.0f - B2) * Gs * Gs;
+    float MHat = M[I] * InvBias1;
+    float VHat = V[I] * InvBias2;
+    W[I] -= Lr * MHat / (std::sqrt(VHat) + Eps);
+    G[I] = 0.0f;
+  }
+}
+
+void au::nn::sgemmConvBias(const PackedOperand &PA, int M, int N, int K,
+                           const float *B, int Ldb, const float *Bias,
+                           float *C, int Ldc) {
+  assert(PA.Present && PA.For == Backend::Simd && "needs simd-packed A");
+  assert(PA.Rows == M && PA.Cols == K && "packed operand extent mismatch");
+  assert(M > 0 && N > 0 && K > 0 && "degenerate conv GEMM");
+  float *BP = reserveScratch(PackBBuf, simd::bPanelsSize(K, N));
+  simd::packBPanels(B, Ldb, /*Trans=*/false, K, N, BP);
+  sgemmSimdCore(M, N, K, 1.0f, PA.Data.data(), BP, 0.0f, C, Ldc, Bias);
+}
+
 //===----------------------------------------------------------------------===//
 // im2col / col2im
 //===----------------------------------------------------------------------===//
 
 void au::nn::im2col(const float *In, int C, int H, int W, int K, int S,
                     float *Col) {
+  if (simdKernelsActive()) {
+    simd::im2colAvx(In, C, H, W, K, S, Col);
+    return;
+  }
   int OH = convOutDim(H, K, S), OW = convOutDim(W, K, S);
   assert(OH > 0 && OW > 0 && "convolution input smaller than kernel");
   size_t OutRow = static_cast<size_t>(OH) * OW;

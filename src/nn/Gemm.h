@@ -1,20 +1,29 @@
-//===- nn/Gemm.h - Blocked SGEMM and im2col kernels ------------*- C++ -*-===//
+//===- nn/Gemm.h - SGEMM micro-kernels and im2col lowering -----*- C++ -*-===//
 //
 // Part of the Autonomizer reproduction (PLDI '19).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The batched compute engine's kernels: a blocked, row-parallel SGEMM with a
+/// The batched compute engine's kernels: a runtime-dispatched SGEMM with a
 /// transpose-aware interface, and the im2col/col2im lowering that expresses
 /// Conv2D forward, input-gradient, and weight-gradient as GEMM. Every kernel
 /// accumulates each output element in a fixed (k-ascending) order regardless
-/// of blocking or thread count, so results are bitwise reproducible.
+/// of blocking, tiling, or thread count, so results are bitwise reproducible
+/// at any AU_NN_THREADS within one backend.
 ///
-/// The engine is selectable at runtime: AU_NN_BACKEND=naive keeps the
-/// original scalar per-sample layer kernels as a reference implementation for
-/// differential testing; the default (gemm) routes minibatches through the
-/// kernels in this file.
+/// Three engines are selectable at runtime via AU_NN_BACKEND:
+///
+///  * simd    — AVX2/FMA 6x16 register-tile micro-kernel over panel-packed
+///              operands (the default when the CPU supports AVX2 and FMA).
+///  * blocked — the portable blocked-scalar kernel ("gemm" is accepted as a
+///              legacy alias); also the fallback on CPUs without AVX2/FMA.
+///  * naive   — the original scalar per-sample layer kernels, kept as the
+///              reference implementation for differential testing.
+///
+/// Weight matrices can be pre-packed once into the active engine's fast
+/// layout and cached on the layer (a PackedOperand), invalidated by the
+/// layer's parameter-generation counter; see DESIGN.md §9.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,22 +31,38 @@
 #define AU_NN_GEMM_H
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 namespace au {
 namespace nn {
 
 /// Which compute engine the trainers and batched layer paths use.
 enum class Backend {
-  Gemm, ///< Batched GEMM/im2col kernels (default).
-  Naive ///< Original scalar per-sample reference kernels.
+  Simd,    ///< AVX2/FMA micro-kernel engine (default where supported).
+  Blocked, ///< Portable blocked-scalar GEMM/im2col engine.
+  Naive    ///< Original scalar per-sample reference kernels.
 };
 
-/// The active backend: AU_NN_BACKEND=naive|gemm on first query, unless
-/// overridden by setBackend().
+/// Whether this process can run the simd engine (compiled for x86 and the
+/// CPU reports AVX2 + FMA).
+bool simdSupported();
+
+/// The active backend: AU_NN_BACKEND=simd|blocked|naive on first query
+/// ("gemm" is accepted as an alias for blocked), unless overridden by
+/// setBackend(). Defaults to simd when supported, else blocked.
 Backend backend();
 
-/// Overrides the active backend (tests and benchmarks).
+/// Overrides the active backend (tests and benchmarks). Requesting simd on
+/// hardware without AVX2/FMA falls back to blocked.
 void setBackend(Backend B);
+
+/// The backend this process starts with: AU_NN_BACKEND if set, else simd
+/// clamped to the hardware. Lets tests restore the ambient default.
+Backend defaultBackend();
+
+/// Lower-case engine name for logs and benchmark output.
+const char *backendName(Backend B);
 
 /// C = Alpha * op(A) * op(B) + Beta * C over row-major matrices, where
 /// op(X) = X or X^T per the Trans flags. op(A) is M x K, op(B) is K x N and
@@ -47,6 +72,100 @@ void setBackend(Backend B);
 void sgemm(bool TransA, bool TransB, int M, int N, int K, float Alpha,
            const float *A, int Lda, const float *B, int Ldb, float Beta,
            float *C, int Ldc);
+
+//===----------------------------------------------------------------------===//
+// Pre-packed weight operands (DESIGN.md §9: packing lifecycle)
+//===----------------------------------------------------------------------===//
+
+/// One GEMM operand held in the active engine's fast layout: the blocked
+/// engine stores plain row-major op(X); the simd engine stores register-tile
+/// panels (6-row panels for the A side, 16-column panels for the B side).
+/// A layer caches one of these per weight-consuming GEMM and re-packs only
+/// when its parameter generation or the active engine changes.
+struct PackedOperand {
+  std::vector<float> Data;
+  int Rows = 0, Cols = 0;            ///< Logical op(X) extents.
+  Backend For = Backend::Naive;      ///< Engine the layout was packed for.
+  uint64_t Gen = 0;                  ///< Parameter generation when packed.
+  bool Present = false;
+
+  /// True when the cache can serve the active engine at generation \p G.
+  bool fresh(Backend Engine, uint64_t G) const {
+    return Present && For == Engine && Gen == G;
+  }
+};
+
+/// The engine whose data layout sgemm actually runs under the current
+/// backend (naive still routes explicit sgemm calls through blocked).
+Backend packEngine();
+
+/// Ensures \p P holds op(A) = M x K (stored \p A with row stride \p Lda,
+/// transposed per \p TransA) packed for the active engine at parameter
+/// generation \p Gen; re-packs only when stale. Not thread-safe: call before
+/// entering any parallel region that consumes \p P.
+void ensurePackedA(PackedOperand &P, uint64_t Gen, bool TransA, int M, int K,
+                   const float *A, int Lda);
+
+/// Ensures \p P holds op(B) = K x N packed for the active engine (see
+/// ensurePackedA).
+void ensurePackedB(PackedOperand &P, uint64_t Gen, bool TransB, int K, int N,
+                   const float *B, int Ldb);
+
+/// sgemm with a pre-packed left operand (\p PA from ensurePackedA, same
+/// active engine). Safe to call concurrently from disjoint-output tasks.
+void sgemmPackedA(const PackedOperand &PA, bool TransB, int M, int N, int K,
+                  float Alpha, const float *B, int Ldb, float Beta, float *C,
+                  int Ldc);
+
+/// sgemm with a pre-packed right operand (\p PB from ensurePackedB).
+void sgemmPackedB(bool TransA, const PackedOperand &PB, int M, int N, int K,
+                  float Alpha, const float *A, int Lda, float Beta, float *C,
+                  int Ldc);
+
+/// Simd-only conv forward GEMM: C = op(A) * B + bias[row], where \p PA is a
+/// simd-packed weight matrix and \p B is the K x N im2col column matrix
+/// (row stride \p Ldb). The per-output-channel bias seeds the micro-kernel
+/// accumulators, so no separate bias fill or Beta read-modify pass touches
+/// C. Safe to call concurrently from disjoint-output tasks.
+void sgemmConvBias(const PackedOperand &PA, int M, int N, int K,
+                   const float *B, int Ldb, const float *Bias, float *C,
+                   int Ldc);
+
+//===----------------------------------------------------------------------===//
+// Elementwise kernels (AVX2-vectorized under the simd engine)
+//===----------------------------------------------------------------------===//
+
+/// Y[i] = max(Y[i], 0). Identical results under every engine (no
+/// accumulation), vectorized under simd.
+void reluForwardKernel(float *Y, size_t N);
+
+/// G[i] = X[i] > 0 ? G[i] : 0.
+void reluBackwardKernel(float *G, const float *X, size_t N);
+
+/// Fills each of \p Rows rows of \p Y (row stride \p Cols) with \p Bias.
+void biasAddRowsKernel(float *Y, const float *Bias, int Rows, int Cols);
+
+/// Batched MSE: writes G = 2 * (P - T) / Cols and returns the sum over rows
+/// of each row's mean squared error. The simd engine accumulates each row in
+/// 8 float lanes folded in a fixed order (deterministic, but rounded
+/// differently from the scalar engines).
+double mseBatchKernel(const float *P, const float *T, float *G, int Rows,
+                      int Cols);
+
+/// Fused Adam update over one parameter tensor under the simd engine:
+/// single-precision moment update, bias correction, parameter step, and
+/// gradient clear in one pass. InvBias1/InvBias2 are 1 / (1 - beta^t).
+void adamUpdateKernel(float *W, float *G, float *M, float *V, size_t N,
+                      float Lr, float B1, float B2, float Eps, float InvBias1,
+                      float InvBias2, float Scale);
+
+/// Whether the elementwise/optimizer kernels above take their vectorized
+/// simd forms (active backend is simd on supported hardware).
+bool simdKernelsActive();
+
+//===----------------------------------------------------------------------===//
+// im2col / col2im
+//===----------------------------------------------------------------------===//
 
 /// Number of output rows/columns of a valid convolution.
 inline int convOutDim(int InDim, int K, int S) { return (InDim - K) / S + 1; }

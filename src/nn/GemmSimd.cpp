@@ -1,0 +1,536 @@
+//===- nn/GemmSimd.cpp - AVX2/FMA kernel bodies ---------------------------===//
+//
+// This translation unit is compiled with -mavx2 -mfma (see src/nn/CMakeLists)
+// while the rest of the library stays at the baseline architecture. The
+// dispatcher in Gemm.cpp only calls in here after simdSupported() confirmed
+// the CPU at runtime, so no AVX2 instruction can reach an unsupported core.
+//
+// The SGEMM micro-kernel computes a 6x16 register tile: 12 ymm accumulators
+// (6 rows x two 8-lane vectors) fed by one broadcast per A element and two
+// FMAs, the classic BLIS-style inner loop. Each C element is produced by a
+// single k-ascending FMA chain, so results do not depend on how row panels
+// are scheduled across threads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/Gemm.h"
+#include "nn/GemmSimdKernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <immintrin.h>
+
+using namespace au;
+using namespace au::nn;
+using namespace au::nn::simd;
+
+namespace {
+
+/// Mask with the first \p N of 8 lanes enabled (0 < N < 8).
+inline __m256i tailMask(int N) {
+  alignas(32) static const int Bits[16] = {-1, -1, -1, -1, -1, -1, -1, -1,
+                                           0,  0,  0,  0,  0,  0,  0,  0};
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Bits + 8 - N));
+}
+
+/// Writes one 8-lane group of C: C = Alpha * Acc + Beta * C over the first
+/// \p Count lanes. Beta == 0 must not read C (it may be uninitialized).
+inline void storeGroup(float *Dst, __m256 Acc, int Count, __m256 AlphaV,
+                       float Beta, __m256 BetaV) {
+  if (Count >= 8) {
+    __m256 R = Beta == 0.0f
+                   ? _mm256_mul_ps(AlphaV, Acc)
+                   : _mm256_fmadd_ps(BetaV, _mm256_loadu_ps(Dst),
+                                     _mm256_mul_ps(AlphaV, Acc));
+    _mm256_storeu_ps(Dst, R);
+    return;
+  }
+  if (Count <= 0)
+    return;
+  __m256i Msk = tailMask(Count);
+  __m256 R = Beta == 0.0f
+                 ? _mm256_mul_ps(AlphaV, Acc)
+                 : _mm256_fmadd_ps(BetaV, _mm256_maskload_ps(Dst, Msk),
+                                   _mm256_mul_ps(AlphaV, Acc));
+  _mm256_maskstore_ps(Dst, Msk, R);
+}
+
+/// One R x 16 register tile: rows [RowBase, RowBase + R) of C against one
+/// B panel. R is a compile-time constant and every accumulator is an
+/// individually named __m256 guarded by if constexpr — an Acc[R] array here
+/// makes GCC spill the whole tile to the stack on every k iteration,
+/// roughly halving throughput. A non-null \p BiasRow seeds each row's
+/// accumulators with BiasRow[row] (requires Alpha == 1, Beta == 0), fusing
+/// the conv bias fill into the GEMM.
+template <int R>
+void panelTile(const float *APan, const float *BPan, int RowBase, int J0,
+               int Cols, int K, __m256 AlphaV, float Beta, __m256 BetaV,
+               const float *BiasRow, float *C, int Ldc) {
+  static_assert(R >= 1 && R <= MR, "row count exceeds the register tile");
+  {
+    __m256 Z = _mm256_setzero_ps();
+    __m256 Acc00 = Z, Acc01 = Z, Acc10 = Z, Acc11 = Z, Acc20 = Z, Acc21 = Z,
+           Acc30 = Z, Acc31 = Z, Acc40 = Z, Acc41 = Z, Acc50 = Z, Acc51 = Z;
+    if (BiasRow) {
+      Acc00 = Acc01 = _mm256_set1_ps(BiasRow[RowBase]);
+      if constexpr (R > 1)
+        Acc10 = Acc11 = _mm256_set1_ps(BiasRow[RowBase + 1]);
+      if constexpr (R > 2)
+        Acc20 = Acc21 = _mm256_set1_ps(BiasRow[RowBase + 2]);
+      if constexpr (R > 3)
+        Acc30 = Acc31 = _mm256_set1_ps(BiasRow[RowBase + 3]);
+      if constexpr (R > 4)
+        Acc40 = Acc41 = _mm256_set1_ps(BiasRow[RowBase + 4]);
+      if constexpr (R > 5)
+        Acc50 = Acc51 = _mm256_set1_ps(BiasRow[RowBase + 5]);
+    }
+    const float *AK = APan;
+    const float *BK = BPan;
+    for (int Kk = 0; Kk < K; ++Kk, AK += MR, BK += NR) {
+      __m256 B0 = _mm256_loadu_ps(BK);
+      __m256 B1 = _mm256_loadu_ps(BK + 8);
+      __m256 A = _mm256_broadcast_ss(AK);
+      Acc00 = _mm256_fmadd_ps(A, B0, Acc00);
+      Acc01 = _mm256_fmadd_ps(A, B1, Acc01);
+      if constexpr (R > 1) {
+        A = _mm256_broadcast_ss(AK + 1);
+        Acc10 = _mm256_fmadd_ps(A, B0, Acc10);
+        Acc11 = _mm256_fmadd_ps(A, B1, Acc11);
+      }
+      if constexpr (R > 2) {
+        A = _mm256_broadcast_ss(AK + 2);
+        Acc20 = _mm256_fmadd_ps(A, B0, Acc20);
+        Acc21 = _mm256_fmadd_ps(A, B1, Acc21);
+      }
+      if constexpr (R > 3) {
+        A = _mm256_broadcast_ss(AK + 3);
+        Acc30 = _mm256_fmadd_ps(A, B0, Acc30);
+        Acc31 = _mm256_fmadd_ps(A, B1, Acc31);
+      }
+      if constexpr (R > 4) {
+        A = _mm256_broadcast_ss(AK + 4);
+        Acc40 = _mm256_fmadd_ps(A, B0, Acc40);
+        Acc41 = _mm256_fmadd_ps(A, B1, Acc41);
+      }
+      if constexpr (R > 5) {
+        A = _mm256_broadcast_ss(AK + 5);
+        Acc50 = _mm256_fmadd_ps(A, B0, Acc50);
+        Acc51 = _mm256_fmadd_ps(A, B1, Acc51);
+      }
+    }
+    float *CRow = C + static_cast<size_t>(RowBase) * Ldc + J0;
+    storeGroup(CRow, Acc00, Cols, AlphaV, Beta, BetaV);
+    storeGroup(CRow + 8, Acc01, Cols - 8, AlphaV, Beta, BetaV);
+    if constexpr (R > 1) {
+      CRow += Ldc;
+      storeGroup(CRow, Acc10, Cols, AlphaV, Beta, BetaV);
+      storeGroup(CRow + 8, Acc11, Cols - 8, AlphaV, Beta, BetaV);
+    }
+    if constexpr (R > 2) {
+      CRow += Ldc;
+      storeGroup(CRow, Acc20, Cols, AlphaV, Beta, BetaV);
+      storeGroup(CRow + 8, Acc21, Cols - 8, AlphaV, Beta, BetaV);
+    }
+    if constexpr (R > 3) {
+      CRow += Ldc;
+      storeGroup(CRow, Acc30, Cols, AlphaV, Beta, BetaV);
+      storeGroup(CRow + 8, Acc31, Cols - 8, AlphaV, Beta, BetaV);
+    }
+    if constexpr (R > 4) {
+      CRow += Ldc;
+      storeGroup(CRow, Acc40, Cols, AlphaV, Beta, BetaV);
+      storeGroup(CRow + 8, Acc41, Cols - 8, AlphaV, Beta, BetaV);
+    }
+    if constexpr (R > 5) {
+      CRow += Ldc;
+      storeGroup(CRow, Acc50, Cols, AlphaV, Beta, BetaV);
+      storeGroup(CRow + 8, Acc51, Cols - 8, AlphaV, Beta, BetaV);
+    }
+  }
+}
+
+/// Half-width variant of panelTile for a trailing B panel with at most 8
+/// live columns: only the low 8-lane group is loaded, accumulated, and
+/// stored, halving the FMA work the zero-padded lanes would otherwise burn.
+/// Live lanes see the identical k-ascending chain, so results are unchanged.
+template <int R>
+void panelTileHalf(const float *APan, const float *BPan, int RowBase, int J0,
+                   int Cols, int K, __m256 AlphaV, float Beta, __m256 BetaV,
+                   const float *BiasRow, float *C, int Ldc) {
+  static_assert(R >= 1 && R <= MR, "row count exceeds the register tile");
+  __m256 Z = _mm256_setzero_ps();
+  __m256 Acc0 = Z, Acc1 = Z, Acc2 = Z, Acc3 = Z, Acc4 = Z, Acc5 = Z;
+  if (BiasRow) {
+    Acc0 = _mm256_set1_ps(BiasRow[RowBase]);
+    if constexpr (R > 1)
+      Acc1 = _mm256_set1_ps(BiasRow[RowBase + 1]);
+    if constexpr (R > 2)
+      Acc2 = _mm256_set1_ps(BiasRow[RowBase + 2]);
+    if constexpr (R > 3)
+      Acc3 = _mm256_set1_ps(BiasRow[RowBase + 3]);
+    if constexpr (R > 4)
+      Acc4 = _mm256_set1_ps(BiasRow[RowBase + 4]);
+    if constexpr (R > 5)
+      Acc5 = _mm256_set1_ps(BiasRow[RowBase + 5]);
+  }
+  const float *AK = APan;
+  const float *BK = BPan;
+  for (int Kk = 0; Kk < K; ++Kk, AK += MR, BK += NR) {
+    __m256 B0 = _mm256_loadu_ps(BK);
+    Acc0 = _mm256_fmadd_ps(_mm256_broadcast_ss(AK), B0, Acc0);
+    if constexpr (R > 1)
+      Acc1 = _mm256_fmadd_ps(_mm256_broadcast_ss(AK + 1), B0, Acc1);
+    if constexpr (R > 2)
+      Acc2 = _mm256_fmadd_ps(_mm256_broadcast_ss(AK + 2), B0, Acc2);
+    if constexpr (R > 3)
+      Acc3 = _mm256_fmadd_ps(_mm256_broadcast_ss(AK + 3), B0, Acc3);
+    if constexpr (R > 4)
+      Acc4 = _mm256_fmadd_ps(_mm256_broadcast_ss(AK + 4), B0, Acc4);
+    if constexpr (R > 5)
+      Acc5 = _mm256_fmadd_ps(_mm256_broadcast_ss(AK + 5), B0, Acc5);
+  }
+  float *CRow = C + static_cast<size_t>(RowBase) * Ldc + J0;
+  storeGroup(CRow, Acc0, Cols, AlphaV, Beta, BetaV);
+  if constexpr (R > 1) {
+    CRow += Ldc;
+    storeGroup(CRow, Acc1, Cols, AlphaV, Beta, BetaV);
+  }
+  if constexpr (R > 2) {
+    CRow += Ldc;
+    storeGroup(CRow, Acc2, Cols, AlphaV, Beta, BetaV);
+  }
+  if constexpr (R > 3) {
+    CRow += Ldc;
+    storeGroup(CRow, Acc3, Cols, AlphaV, Beta, BetaV);
+  }
+  if constexpr (R > 4) {
+    CRow += Ldc;
+    storeGroup(CRow, Acc4, Cols, AlphaV, Beta, BetaV);
+  }
+  if constexpr (R > 5) {
+    CRow += Ldc;
+    storeGroup(CRow, Acc5, Cols, AlphaV, Beta, BetaV);
+  }
+}
+
+/// Dispatches one register tile at compile-time row count \p R, taking the
+/// half-width path when the panel has at most 8 live columns.
+template <int R>
+inline void panelTileDispatch(const float *APan, const float *BPan,
+                              int RowBase, int J0, int Cols, int K,
+                              __m256 AlphaV, float Beta, __m256 BetaV,
+                              const float *BiasRow, float *C, int Ldc) {
+  if (Cols <= 8)
+    panelTileHalf<R>(APan, BPan, RowBase, J0, Cols, K, AlphaV, Beta, BetaV,
+                     BiasRow, C, Ldc);
+  else
+    panelTile<R>(APan, BPan, RowBase, J0, Cols, K, AlphaV, Beta, BetaV,
+                 BiasRow, C, Ldc);
+}
+
+} // namespace
+
+void simd::packAPanels(const float *A, int Lda, bool Trans, int M, int K,
+                       float *Dst) {
+  const int NPanels = numAPanels(M);
+  for (int P = 0; P < NPanels; ++P) {
+    int Row0 = P * MR;
+    int Live = M - Row0 < MR ? M - Row0 : MR;
+    float *Pan = Dst + static_cast<size_t>(P) * K * MR;
+    if (Live < MR)
+      std::memset(Pan, 0, static_cast<size_t>(K) * MR * sizeof(float));
+    if (Trans) {
+      // op(A)(i, k) = A[k * Lda + i]: stream rows of the stored matrix.
+      for (int Kk = 0; Kk < K; ++Kk) {
+        const float *Src = A + static_cast<size_t>(Kk) * Lda + Row0;
+        float *Out = Pan + static_cast<size_t>(Kk) * MR;
+        for (int I = 0; I < Live; ++I)
+          Out[I] = Src[I];
+      }
+    } else {
+      for (int I = 0; I < Live; ++I) {
+        const float *Src = A + static_cast<size_t>(Row0 + I) * Lda;
+        float *Out = Pan + I;
+        for (int Kk = 0; Kk < K; ++Kk)
+          Out[static_cast<size_t>(Kk) * MR] = Src[Kk];
+      }
+    }
+  }
+}
+
+void simd::packBPanels(const float *B, int Ldb, bool Trans, int K, int N,
+                       float *Dst) {
+  const int NPanels = numBPanels(N);
+  for (int Q = 0; Q < NPanels; ++Q) {
+    int Col0 = Q * NR;
+    int Live = N - Col0 < NR ? N - Col0 : NR;
+    float *Pan = Dst + static_cast<size_t>(Q) * K * NR;
+    if (Live < NR)
+      std::memset(Pan, 0, static_cast<size_t>(K) * NR * sizeof(float));
+    if (Trans) {
+      // op(B)(k, j) = B[j * Ldb + k]: gather one stored row per column.
+      for (int J = 0; J < Live; ++J) {
+        const float *Src = B + static_cast<size_t>(Col0 + J) * Ldb;
+        float *Out = Pan + J;
+        for (int Kk = 0; Kk < K; ++Kk)
+          Out[static_cast<size_t>(Kk) * NR] = Src[Kk];
+      }
+    } else {
+      for (int Kk = 0; Kk < K; ++Kk) {
+        const float *Src = B + static_cast<size_t>(Kk) * Ldb + Col0;
+        float *Out = Pan + static_cast<size_t>(Kk) * NR;
+        for (int J = 0; J < Live; ++J)
+          Out[J] = Src[J];
+      }
+    }
+  }
+}
+
+void simd::microKernelRange(int PanelBegin, int PanelEnd, int M, int N, int K,
+                            float Alpha, const float *APanels,
+                            const float *BPanels, float Beta,
+                            const float *BiasRow, float *C, int Ldc) {
+  assert((!BiasRow || (Alpha == 1.0f && Beta == 0.0f)) &&
+         "bias fusion requires a plain C = A*B + bias store");
+  const int NPanels = numBPanels(N);
+  const __m256 AlphaV = _mm256_set1_ps(Alpha);
+  const __m256 BetaV = _mm256_set1_ps(Beta);
+  // B panels on the outside: one K x 16 panel stays L1-resident while every
+  // A panel of this thread's range streams past it. The full B panel set can
+  // exceed L1 (e.g. 50KB for the CNN stage-2 conv), so the P-outer order
+  // would re-stream it once per row panel. Tile order does not change
+  // results: each C element is still one k-ascending FMA chain.
+  for (int Q = 0; Q < NPanels; ++Q) {
+    const float *BPan = BPanels + static_cast<size_t>(Q) * K * NR;
+    const int J0 = Q * NR;
+    const int Cols = N - J0; // >= 1; may exceed NR on interior panels.
+    for (int P = PanelBegin; P < PanelEnd; ++P) {
+      const float *APan = APanels + static_cast<size_t>(P) * K * MR;
+      int Row0 = P * MR;
+      int Live = M - Row0 < MR ? M - Row0 : MR;
+      switch (Live) {
+      case 1:
+        panelTileDispatch<1>(APan, BPan, Row0, J0, Cols, K, AlphaV, Beta,
+                             BetaV, BiasRow, C, Ldc);
+        break;
+      case 2:
+        panelTileDispatch<2>(APan, BPan, Row0, J0, Cols, K, AlphaV, Beta,
+                             BetaV, BiasRow, C, Ldc);
+        break;
+      case 3:
+        panelTileDispatch<3>(APan, BPan, Row0, J0, Cols, K, AlphaV, Beta,
+                             BetaV, BiasRow, C, Ldc);
+        break;
+      case 4:
+        panelTileDispatch<4>(APan, BPan, Row0, J0, Cols, K, AlphaV, Beta,
+                             BetaV, BiasRow, C, Ldc);
+        break;
+      case 5:
+        panelTileDispatch<5>(APan, BPan, Row0, J0, Cols, K, AlphaV, Beta,
+                             BetaV, BiasRow, C, Ldc);
+        break;
+      default:
+        panelTileDispatch<6>(APan, BPan, Row0, J0, Cols, K, AlphaV, Beta,
+                             BetaV, BiasRow, C, Ldc);
+        break;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Copies \p N floats with overlapping unaligned vectors instead of memcpy:
+/// the im2col row runs are ~OW floats, short enough that libc's dispatch
+/// costs more than the copy. Overlapping the tail store rewrites bytes with
+/// the same values, which is safe.
+inline void copyRun(float *Dst, const float *Src, int N) {
+  if (N >= 8) {
+    int I = 0;
+    for (; I + 8 <= N; I += 8)
+      _mm256_storeu_ps(Dst + I, _mm256_loadu_ps(Src + I));
+    if (I != N)
+      _mm256_storeu_ps(Dst + N - 8, _mm256_loadu_ps(Src + N - 8));
+    return;
+  }
+  if (N >= 4) {
+    _mm_storeu_ps(Dst, _mm_loadu_ps(Src));
+    if (N != 4)
+      _mm_storeu_ps(Dst + N - 4, _mm_loadu_ps(Src + N - 4));
+    return;
+  }
+  for (int I = 0; I < N; ++I)
+    Dst[I] = Src[I];
+}
+
+} // namespace
+
+void simd::im2colAvx(const float *In, int C, int H, int W, int K, int S,
+                     float *Col) {
+  int OH = convOutDim(H, K, S), OW = convOutDim(W, K, S);
+  assert(OH > 0 && OW > 0 && "convolution input smaller than kernel");
+  size_t OutRow = static_cast<size_t>(OH) * OW;
+  for (int Ch = 0; Ch < C; ++Ch)
+    for (int Ky = 0; Ky < K; ++Ky)
+      for (int Kx = 0; Kx < K; ++Kx) {
+        float *Dst =
+            Col + (((static_cast<size_t>(Ch) * K + Ky) * K + Kx) * OutRow);
+        const float *Plane =
+            In + (static_cast<size_t>(Ch) * H + Ky) * W + Kx;
+        for (int Oy = 0; Oy < OH; ++Oy) {
+          const float *Src = Plane + static_cast<size_t>(Oy) * S * W;
+          if (S == 1) {
+            copyRun(Dst, Src, OW);
+            Dst += OW;
+          } else {
+            for (int Ox = 0; Ox < OW; ++Ox)
+              *Dst++ = Src[static_cast<size_t>(Ox) * S];
+          }
+        }
+      }
+}
+
+//===----------------------------------------------------------------------===//
+// Elementwise kernels
+//===----------------------------------------------------------------------===//
+
+void simd::reluForwardAvx(float *Y, size_t N) {
+  const __m256 Zero = _mm256_setzero_ps();
+  size_t I = 0;
+  for (; I + 8 <= N; I += 8)
+    _mm256_storeu_ps(Y + I, _mm256_max_ps(_mm256_loadu_ps(Y + I), Zero));
+  for (; I < N; ++I)
+    Y[I] = Y[I] > 0.0f ? Y[I] : 0.0f;
+}
+
+void simd::reluBackwardAvx(float *G, const float *X, size_t N) {
+  const __m256 Zero = _mm256_setzero_ps();
+  size_t I = 0;
+  for (; I + 8 <= N; I += 8) {
+    __m256 Mask = _mm256_cmp_ps(_mm256_loadu_ps(X + I), Zero, _CMP_GT_OQ);
+    _mm256_storeu_ps(G + I, _mm256_and_ps(_mm256_loadu_ps(G + I), Mask));
+  }
+  for (; I < N; ++I)
+    if (X[I] <= 0.0f)
+      G[I] = 0.0f;
+}
+
+void simd::biasAddRowsAvx(float *Y, const float *Bias, int Rows, int Cols) {
+  for (int R = 0; R < Rows; ++R)
+    std::memcpy(Y + static_cast<size_t>(R) * Cols, Bias,
+                static_cast<size_t>(Cols) * sizeof(float));
+}
+
+double simd::mseBatchAvx(const float *P, const float *T, float *G, int Rows,
+                         int Cols) {
+  const float InvN = 1.0f / static_cast<float>(Cols);
+  const __m256 Scale = _mm256_set1_ps(2.0f * InvN);
+  double Loss = 0.0;
+  for (int R = 0; R < Rows; ++R) {
+    size_t Base = static_cast<size_t>(R) * Cols;
+    __m256 Acc = _mm256_setzero_ps();
+    int I = 0;
+    for (; I + 8 <= Cols; I += 8) {
+      __m256 D = _mm256_sub_ps(_mm256_loadu_ps(P + Base + I),
+                               _mm256_loadu_ps(T + Base + I));
+      _mm256_storeu_ps(G + Base + I, _mm256_mul_ps(Scale, D));
+      Acc = _mm256_fmadd_ps(D, D, Acc);
+    }
+    // Fixed-order lane fold, then the scalar tail — deterministic.
+    alignas(32) float Lanes[8];
+    _mm256_store_ps(Lanes, Acc);
+    float RowSum = ((Lanes[0] + Lanes[1]) + (Lanes[2] + Lanes[3])) +
+                   ((Lanes[4] + Lanes[5]) + (Lanes[6] + Lanes[7]));
+    for (; I < Cols; ++I) {
+      float D = P[Base + I] - T[Base + I];
+      G[Base + I] = 2.0f * InvN * D;
+      RowSum += D * D;
+    }
+    Loss += static_cast<double>(RowSum) * InvN;
+  }
+  return Loss;
+}
+
+void simd::adamUpdateAvx(float *W, float *G, float *M, float *V, size_t N,
+                         float Lr, float B1, float B2, float Eps,
+                         float InvBias1, float InvBias2, float Scale) {
+  const __m256 B1V = _mm256_set1_ps(B1), C1V = _mm256_set1_ps(1.0f - B1);
+  const __m256 B2V = _mm256_set1_ps(B2), C2V = _mm256_set1_ps(1.0f - B2);
+  const __m256 LrV = _mm256_set1_ps(Lr), EpsV = _mm256_set1_ps(Eps);
+  const __m256 IB1 = _mm256_set1_ps(InvBias1), IB2 = _mm256_set1_ps(InvBias2);
+  const __m256 ScaleV = _mm256_set1_ps(Scale);
+  const __m256 Zero = _mm256_setzero_ps();
+  size_t I = 0;
+  for (; I + 8 <= N; I += 8) {
+    __m256 Gv = _mm256_mul_ps(_mm256_loadu_ps(G + I), ScaleV);
+    __m256 Mv = _mm256_fmadd_ps(B1V, _mm256_loadu_ps(M + I),
+                                _mm256_mul_ps(C1V, Gv));
+    __m256 Vv = _mm256_fmadd_ps(B2V, _mm256_loadu_ps(V + I),
+                                _mm256_mul_ps(C2V, _mm256_mul_ps(Gv, Gv)));
+    _mm256_storeu_ps(M + I, Mv);
+    _mm256_storeu_ps(V + I, Vv);
+    __m256 MHat = _mm256_mul_ps(Mv, IB1);
+    __m256 VHat = _mm256_mul_ps(Vv, IB2);
+    __m256 Denom = _mm256_add_ps(_mm256_sqrt_ps(VHat), EpsV);
+    __m256 StepV = _mm256_div_ps(_mm256_mul_ps(LrV, MHat), Denom);
+    _mm256_storeu_ps(W + I, _mm256_sub_ps(_mm256_loadu_ps(W + I), StepV));
+    _mm256_storeu_ps(G + I, Zero);
+  }
+  for (; I < N; ++I) {
+    float Gs = G[I] * Scale;
+    M[I] = B1 * M[I] + (1.0f - B1) * Gs;
+    V[I] = B2 * V[I] + (1.0f - B2) * Gs * Gs;
+    float MHat = M[I] * InvBias1;
+    float VHat = V[I] * InvBias2;
+    W[I] -= Lr * MHat / (std::sqrt(VHat) + Eps);
+    G[I] = 0.0f;
+  }
+}
+
+#else // !(__AVX2__ && __FMA__)
+
+// Built without AVX2/FMA codegen (non-x86 target or a compiler that rejects
+// the flags): the dispatcher reports simdSupported() == false and never
+// calls these, but the symbols must still link.
+
+#include <cstdlib>
+
+using namespace au::nn;
+
+namespace {
+[[noreturn]] void unreachableSimd() { std::abort(); }
+} // namespace
+
+void simd::packAPanels(const float *, int, bool, int, int, float *) {
+  unreachableSimd();
+}
+void simd::packBPanels(const float *, int, bool, int, int, float *) {
+  unreachableSimd();
+}
+void simd::microKernelRange(int, int, int, int, int, float, const float *,
+                            const float *, float, const float *, float *,
+                            int) {
+  unreachableSimd();
+}
+void simd::im2colAvx(const float *, int, int, int, int, int, float *) {
+  unreachableSimd();
+}
+void simd::reluForwardAvx(float *, size_t) { unreachableSimd(); }
+void simd::reluBackwardAvx(float *, const float *, size_t) {
+  unreachableSimd();
+}
+void simd::biasAddRowsAvx(float *, const float *, int, int) {
+  unreachableSimd();
+}
+double simd::mseBatchAvx(const float *, const float *, float *, int, int) {
+  unreachableSimd();
+}
+void simd::adamUpdateAvx(float *, float *, float *, float *, size_t, float,
+                         float, float, float, float, float, float) {
+  unreachableSimd();
+}
+
+#endif // __AVX2__ && __FMA__

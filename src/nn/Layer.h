@@ -70,8 +70,19 @@ public:
   /// Total number of trainable scalars.
   size_t numParams();
 
+  /// Monotonic parameter version. Packed-weight caches (DESIGN.md §9) store
+  /// the generation they were packed at and re-pack only when it moves.
+  uint64_t paramGen() const { return ParamGen; }
+
+  /// Records that this layer's parameters changed (optimizer step, parameter
+  /// load/restore, direct mutation through the raw accessors).
+  void bumpParamGen() { ++ParamGen; }
+
   /// Human-readable layer kind for diagnostics and serialization.
   virtual std::string kind() const = 0;
+
+private:
+  uint64_t ParamGen = 0;
 };
 
 } // namespace nn

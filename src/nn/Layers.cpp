@@ -3,11 +3,13 @@
 #include "nn/Layers.h"
 
 #include "nn/Gemm.h"
+#include "nn/Workspace.h"
 #include "support/Rng.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 using namespace au;
 using namespace au::nn;
@@ -84,14 +86,15 @@ Tensor Dense::forwardBatch(const Tensor &Input) {
          "dense batched input shape mismatch");
   int BN = Input.dim(0);
   LastInB = Input;
-  Tensor Y(std::vector<int>{BN, Out});
+  Tensor Y = Workspace::acquire({BN, Out});
   // Prefill each row with the bias, then accumulate X * W^T on top; this
-  // matches the scalar path's Acc = B[O] + sum order.
+  // matches the scalar path's Acc = B[O] + sum order. W^T is served from the
+  // packed cache, so steady-state inference skips all packing work.
   float *YD = Y.data();
-  for (int R = 0; R < BN; ++R)
-    std::copy(B.begin(), B.end(), YD + static_cast<size_t>(R) * Out);
-  sgemm(/*TransA=*/false, /*TransB=*/true, BN, Out, In, 1.0f, Input.data(),
-        In, W.data(), In, 1.0f, YD, Out);
+  biasAddRowsKernel(YD, B.data(), BN, Out);
+  ensurePackedB(PackedWT, paramGen(), /*TransB=*/true, In, Out, W.data(), In);
+  sgemmPackedB(/*TransA=*/false, PackedWT, BN, Out, In, 1.0f, Input.data(),
+               In, 1.0f, YD, Out);
   return Y;
 }
 
@@ -112,10 +115,12 @@ Tensor Dense::backwardBatch(const Tensor &GradOut) {
   // ascending-sample accumulation per element — deterministic.
   sgemm(/*TransA=*/true, /*TransB=*/false, Out, In, BN, 1.0f, G, Out,
         LastInB.data(), In, 1.0f, GW.data(), In);
-  // Input gradients: GI = GradOut * W.
-  Tensor GI(std::vector<int>{BN, In});
-  sgemm(/*TransA=*/false, /*TransB=*/false, BN, In, Out, 1.0f, G, Out,
-        W.data(), In, 0.0f, GI.data(), In);
+  // Input gradients: GI = GradOut * W, with W served from the packed cache.
+  Tensor GI = Workspace::acquire({BN, In});
+  ensurePackedB(PackedWB, paramGen(), /*TransB=*/false, Out, In, W.data(),
+                In);
+  sgemmPackedB(/*TransA=*/false, PackedWB, BN, In, Out, 1.0f, G, Out, 0.0f,
+               GI.data(), In);
   return GI;
 }
 
@@ -146,12 +151,13 @@ Tensor ReLU::backward(const Tensor &GradOut) {
 
 Tensor ReLU::forwardBatch(const Tensor &In) {
   LastInB = In;
-  Tensor Y = In;
+  Tensor Y = Workspace::acquire(In.shape());
   float *D = Y.data();
+  const float *S = In.data();
   ThreadPool::global().parallelFor(0, Y.size(), 8192,
                                    [&](size_t B, size_t E) {
-    for (size_t I = B; I != E; ++I)
-      D[I] = std::max(D[I], 0.0f);
+    std::memcpy(D + B, S + B, sizeof(float) * (E - B));
+    reluForwardKernel(D + B, E - B);
   });
   return Y;
 }
@@ -159,14 +165,14 @@ Tensor ReLU::forwardBatch(const Tensor &In) {
 Tensor ReLU::backwardBatch(const Tensor &GradOut) {
   assert(GradOut.size() == LastInB.size() &&
          "relu batched gradient size mismatch");
-  Tensor GradIn = GradOut;
+  Tensor GradIn = Workspace::acquire(GradOut.shape());
   float *D = GradIn.data();
+  const float *S = GradOut.data();
   const float *X = LastInB.data();
   ThreadPool::global().parallelFor(0, GradIn.size(), 8192,
                                    [&](size_t B, size_t E) {
-    for (size_t I = B; I != E; ++I)
-      if (X[I] <= 0.0f)
-        D[I] = 0.0f;
+    std::memcpy(D + B, S + B, sizeof(float) * (E - B));
+    reluBackwardKernel(D + B, X + B, E - B);
   });
   return GradIn;
 }
@@ -247,23 +253,35 @@ Tensor Conv2D::forwardBatch(const Tensor &Input) {
   InShapeB = Input.shape();
   LastOH = OH;
   LastOW = OW;
-  Tensor OutT(std::vector<int>{BN, OutC, OH, OW});
+  Tensor OutT = Workspace::acquire({BN, OutC, OH, OW});
   size_t InSz = Input.sampleSize(), OutSz = OutT.sampleSize();
   const float *InD = Input.data();
   float *OutD = OutT.data();
   size_t PlaneSz = static_cast<size_t>(OH) * OW;
+  const bool Simd = packEngine() == Backend::Simd;
+  // Pack the filter matrix once (on this thread, before the parallel
+  // region); every per-sample GEMM then consumes the cached panels.
+  ensurePackedA(PackedW, paramGen(), /*TransA=*/false, OutC, CKK, W.data(),
+                CKK);
   // Samples are independent: lower each to columns and run the per-sample
-  // GEMM Out_b = W * Col_b (+ bias) in parallel across the batch.
+  // GEMM Out_b = W * Col_b (+ bias) in parallel across the batch. The simd
+  // engine seeds its accumulators with the bias (no fill pass, no Beta
+  // read-modify pass over Out).
   ThreadPool::global().parallelFor(0, static_cast<size_t>(BN), 1,
                                    [&](size_t B0, size_t B1) {
     for (size_t Bi = B0; Bi != B1; ++Bi) {
       float *Col = &ColB[Bi * ColSz];
       im2col(InD + Bi * InSz, InC, H, Wd, K, S, Col);
       float *O = OutD + Bi * OutSz;
+      if (Simd) {
+        sgemmConvBias(PackedW, OutC, OH * OW, CKK, Col, OH * OW, B.data(), O,
+                      OH * OW);
+        continue;
+      }
       for (int Oc = 0; Oc < OutC; ++Oc)
         std::fill(O + Oc * PlaneSz, O + (Oc + 1) * PlaneSz, B[Oc]);
-      sgemm(/*TransA=*/false, /*TransB=*/false, OutC, OH * OW, CKK, 1.0f,
-            W.data(), CKK, Col, OH * OW, 1.0f, O, OH * OW);
+      sgemmPackedA(PackedW, /*TransB=*/false, OutC, OH * OW, CKK, 1.0f, Col,
+                   OH * OW, 1.0f, O, OH * OW);
     }
   });
   return OutT;
@@ -309,17 +327,21 @@ Tensor Conv2D::backwardBatch(const Tensor &GradOut) {
   }, GW.data());
 
   // Input gradients: dCol_b = W^T * GradOut_b, scattered back by col2im.
+  // col2im accumulates, so the workspace tensor must be zeroed explicitly.
   if (DColB.size() < static_cast<size_t>(BN) * ColSz)
     DColB.resize(static_cast<size_t>(BN) * ColSz);
-  Tensor GradIn(InShapeB);
+  Tensor GradIn = Workspace::acquire(InShapeB);
+  GradIn.fill(0.0f);
   float *GID = GradIn.data();
   size_t InSz = GradIn.sampleSize();
+  ensurePackedA(PackedWTA, paramGen(), /*TransA=*/true, CKK, OutC, W.data(),
+                CKK);
   ThreadPool::global().parallelFor(0, static_cast<size_t>(BN), 1,
                                    [&](size_t B0, size_t B1) {
     for (size_t Bi = B0; Bi != B1; ++Bi) {
       float *DCol = &DColB[Bi * ColSz];
-      sgemm(/*TransA=*/true, /*TransB=*/false, CKK, OH * OW, OutC, 1.0f,
-            W.data(), CKK, GD + Bi * GSz, OH * OW, 0.0f, DCol, OH * OW);
+      sgemmPackedA(PackedWTA, /*TransB=*/false, CKK, OH * OW, OutC, 1.0f,
+                   GD + Bi * GSz, OH * OW, 0.0f, DCol, OH * OW);
       col2im(DCol, InC, H, Wd, K, S, GID + Bi * InSz);
     }
   });
@@ -394,7 +416,7 @@ Tensor MaxPool2D::forwardBatch(const Tensor &In) {
   int OH = H / 2, OW = W / 2;
   assert(OH > 0 && OW > 0 && "maxpool input too small");
   InShapeB = In.shape();
-  Tensor Out(std::vector<int>{BN, C, OH, OW});
+  Tensor Out = Workspace::acquire({BN, C, OH, OW});
   ArgMaxB.assign(Out.size(), 0);
   size_t InSz = In.sampleSize(), OutSz = Out.sampleSize();
   const float *InD = In.data();
@@ -413,7 +435,9 @@ Tensor MaxPool2D::backwardBatch(const Tensor &GradOut) {
   assert(GradOut.size() == ArgMaxB.size() &&
          "maxpool batched gradient size mismatch");
   int BN = InShapeB[0];
-  Tensor GradIn(InShapeB);
+  // The scatter below only writes the winning indices, so zero the rest.
+  Tensor GradIn = Workspace::acquire(InShapeB);
+  GradIn.fill(0.0f);
   size_t OutSz = GradOut.sampleSize();
   const float *G = GradOut.data();
   float *D = GradIn.data();
@@ -441,17 +465,38 @@ Tensor Reshape::backward(const Tensor &GradOut) {
   return GradOut.reshaped(InShape);
 }
 
+namespace {
+
+/// Workspace copy of \p In under \p NewShape (reshapes without disturbing
+/// the caller's tensor, which the Network chain releases separately).
+Tensor reshapedCopy(const Tensor &In, std::initializer_list<int> NewShape) {
+  Tensor Y = Workspace::acquire(NewShape);
+  assert(Y.size() == In.size() && "reshape must preserve element count");
+  std::memcpy(Y.data(), In.data(), sizeof(float) * In.size());
+  return Y;
+}
+
+Tensor reshapedCopy(const Tensor &In, const std::vector<int> &NewShape) {
+  Tensor Y = Workspace::acquire(NewShape);
+  assert(Y.size() == In.size() && "reshape must preserve element count");
+  std::memcpy(Y.data(), In.data(), sizeof(float) * In.size());
+  return Y;
+}
+
+} // namespace
+
 Tensor Reshape::forwardBatch(const Tensor &In) {
   InShapeB = In.shape();
-  std::vector<int> NewShape;
-  NewShape.reserve(Target.size() + 1);
-  NewShape.push_back(In.dim(0));
-  NewShape.insert(NewShape.end(), Target.begin(), Target.end());
-  return In.reshaped(std::move(NewShape));
+  // NewShapeB is retained so steady-state calls reuse its capacity.
+  NewShapeB.clear();
+  NewShapeB.reserve(Target.size() + 1);
+  NewShapeB.push_back(In.dim(0));
+  NewShapeB.insert(NewShapeB.end(), Target.begin(), Target.end());
+  return reshapedCopy(In, NewShapeB);
 }
 
 Tensor Reshape::backwardBatch(const Tensor &GradOut) {
-  return GradOut.reshaped(InShapeB);
+  return reshapedCopy(GradOut, InShapeB);
 }
 
 //===----------------------------------------------------------------------===//
@@ -469,10 +514,9 @@ Tensor Flatten::backward(const Tensor &GradOut) {
 
 Tensor Flatten::forwardBatch(const Tensor &In) {
   InShapeB = In.shape();
-  return In.reshaped(
-      {In.dim(0), static_cast<int>(In.sampleSize())});
+  return reshapedCopy(In, {In.dim(0), static_cast<int>(In.sampleSize())});
 }
 
 Tensor Flatten::backwardBatch(const Tensor &GradOut) {
-  return GradOut.reshaped(InShapeB);
+  return reshapedCopy(GradOut, InShapeB);
 }

@@ -15,6 +15,7 @@
 #ifndef AU_NN_LAYERS_H
 #define AU_NN_LAYERS_H
 
+#include "nn/Gemm.h"
 #include "nn/Layer.h"
 
 namespace au {
@@ -37,9 +38,16 @@ public:
   int inSize() const { return In; }
   int outSize() const { return Out; }
 
-  // Raw parameter access for serialization and tests.
-  std::vector<float> &weights() { return W; }
-  std::vector<float> &biases() { return B; }
+  // Raw parameter access for serialization and tests. Conservatively bumps
+  // the parameter generation — callers may mutate through the reference.
+  std::vector<float> &weights() {
+    bumpParamGen();
+    return W;
+  }
+  std::vector<float> &biases() {
+    bumpParamGen();
+    return B;
+  }
 
 private:
   int In;
@@ -49,7 +57,9 @@ private:
   std::vector<float> GW; // Gradient accumulators.
   std::vector<float> GB;
   Tensor LastIn;
-  Tensor LastInB; // Batched activation cache ([Batch, In]).
+  Tensor LastInB;        // Batched activation cache ([Batch, In]).
+  PackedOperand PackedWT; // Forward operand op(B) = W^T, engine layout.
+  PackedOperand PackedWB; // Backward operand op(B) = W (input gradients).
 };
 
 /// Rectified linear unit, elementwise max(0, x).
@@ -85,8 +95,14 @@ public:
   int kernelSize() const { return K; }
   int stride() const { return S; }
 
-  std::vector<float> &weights() { return W; }
-  std::vector<float> &biases() { return B; }
+  std::vector<float> &weights() {
+    bumpParamGen();
+    return W;
+  }
+  std::vector<float> &biases() {
+    bumpParamGen();
+    return B;
+  }
 
 private:
   int InC, OutC, K, S;
@@ -103,6 +119,8 @@ private:
   std::vector<float> DColB;
   std::vector<int> InShapeB; // Cached batched input shape.
   int LastOH = 0, LastOW = 0;
+  PackedOperand PackedW;   // Forward operand op(A) = W [OutC x CKK].
+  PackedOperand PackedWTA; // Backward operand op(A) = W^T [CKK x OutC].
 };
 
 /// 2x2 max pooling with stride 2 over (channels, height, width) tensors.
@@ -140,6 +158,7 @@ private:
   std::vector<int> Target;
   std::vector<int> InShape;
   std::vector<int> InShapeB;
+  std::vector<int> NewShapeB; // Batched target shape, reused across calls.
 };
 
 /// Flattens any tensor to rank 1.

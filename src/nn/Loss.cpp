@@ -2,17 +2,32 @@
 
 #include "nn/Loss.h"
 
+#include "nn/Gemm.h"
+
 #include <cassert>
 #include <cmath>
 
 using namespace au;
 using namespace au::nn;
 
+namespace {
+
+/// Reshapes \p Grad to \p Pred's shape, reallocating only when the shape
+/// actually changed — steady-state training reuses the same gradient buffer.
+/// Contents after this call are unspecified; every loss below either writes
+/// all elements or zero-fills explicitly.
+void ensureGradShape(Tensor &Grad, const Tensor &Pred) {
+  if (Grad.shape() != Pred.shape())
+    Grad = Tensor(Pred.shape());
+}
+
+} // namespace
+
 double au::nn::mseLoss(const Tensor &Pred, const Tensor &Target,
                        Tensor &Grad) {
   assert(Pred.size() == Target.size() && "loss size mismatch");
   assert(!Pred.empty() && "loss of empty tensors");
-  Grad = Tensor(Pred.shape());
+  ensureGradShape(Grad, Pred);
   double Loss = 0.0;
   double InvN = 1.0 / static_cast<double>(Pred.size());
   for (size_t I = 0, E = Pred.size(); I != E; ++I) {
@@ -28,30 +43,16 @@ double au::nn::mseLossBatch(const Tensor &Pred, const Tensor &Target,
   assert(Pred.rank() == 2 && Pred.shape() == Target.shape() &&
          "batched loss shape mismatch");
   assert(!Pred.empty() && "loss of empty tensors");
-  Grad = Tensor(Pred.shape());
-  int BN = Pred.dim(0), N = Pred.dim(1);
-  double InvN = 1.0 / static_cast<double>(N);
-  double Loss = 0.0;
-  const float *P = Pred.data(), *T = Target.data();
-  float *G = Grad.data();
-  for (int R = 0; R < BN; ++R) {
-    double SampleLoss = 0.0;
-    size_t Base = static_cast<size_t>(R) * N;
-    for (int I = 0; I < N; ++I) {
-      double D = P[Base + I] - T[Base + I];
-      SampleLoss += D * D * InvN;
-      G[Base + I] = static_cast<float>(2.0 * D * InvN);
-    }
-    Loss += SampleLoss;
-  }
-  return Loss;
+  ensureGradShape(Grad, Pred);
+  return mseBatchKernel(Pred.data(), Target.data(), Grad.data(), Pred.dim(0),
+                        Pred.dim(1));
 }
 
 double au::nn::huberLoss(const Tensor &Pred, const Tensor &Target,
                          Tensor &Grad) {
   assert(Pred.size() == Target.size() && "loss size mismatch");
   assert(!Pred.empty() && "loss of empty tensors");
-  Grad = Tensor(Pred.shape());
+  ensureGradShape(Grad, Pred);
   double Loss = 0.0;
   double InvN = 1.0 / static_cast<double>(Pred.size());
   for (size_t I = 0, E = Pred.size(); I != E; ++I) {
@@ -70,7 +71,8 @@ double au::nn::huberLoss(const Tensor &Pred, const Tensor &Target,
 double au::nn::huberLossAt(const Tensor &Pred, size_t Index, float Target,
                            Tensor &Grad) {
   assert(Index < Pred.size() && "huberLossAt index out of range");
-  Grad = Tensor(Pred.shape());
+  ensureGradShape(Grad, Pred);
+  Grad.fill(0.0f); // Only Index receives a gradient; the rest must be zero.
   double D = Pred[Index] - Target;
   if (std::abs(D) <= 1.0) {
     Grad[Index] = static_cast<float>(D);

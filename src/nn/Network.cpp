@@ -3,6 +3,7 @@
 #include "nn/Network.h"
 
 #include "nn/Layers.h"
+#include "nn/Workspace.h"
 #include "support/Rng.h"
 
 #include <cstdio>
@@ -33,16 +34,28 @@ Tensor Network::backward(const Tensor &GradOut) {
 
 Tensor Network::forwardBatch(const Tensor &In) {
   assert(In.rank() >= 2 && "batched input needs a leading batch dimension");
-  Tensor X = In;
-  for (auto &L : Layers)
-    X = L->forwardBatch(X);
+  assert(!Layers.empty() && "forwardBatch on an empty network");
+  // Layers return workspace tensors; release each intermediate back to the
+  // arena as soon as the next layer has consumed it. The caller's input is
+  // never released (it is not ours), and the final output is the caller's to
+  // release.
+  Tensor X = Layers.front()->forwardBatch(In);
+  for (size_t I = 1, E = Layers.size(); I != E; ++I) {
+    Tensor Y = Layers[I]->forwardBatch(X);
+    Workspace::release(X);
+    X = std::move(Y);
+  }
   return X;
 }
 
 Tensor Network::backwardBatch(const Tensor &GradOut) {
-  Tensor G = GradOut;
-  for (auto It = Layers.rbegin(), E = Layers.rend(); It != E; ++It)
-    G = (*It)->backwardBatch(G);
+  assert(!Layers.empty() && "backwardBatch on an empty network");
+  Tensor G = Layers.back()->backwardBatch(GradOut);
+  for (size_t I = Layers.size() - 1; I-- > 0;) {
+    Tensor H = Layers[I]->backwardBatch(G);
+    Workspace::release(G);
+    G = std::move(H);
+  }
   return G;
 }
 
@@ -74,6 +87,11 @@ size_t Network::sizeInBytes() {
   return Bytes;
 }
 
+void Network::bumpParamGeneration() {
+  for (auto &L : Layers)
+    L->bumpParamGen();
+}
+
 void Network::copyParamsFrom(Network &Other) {
   std::vector<ParamView> Dst = params();
   std::vector<ParamView> Src = Other.params();
@@ -82,6 +100,7 @@ void Network::copyParamsFrom(Network &Other) {
     assert(Dst[I].Count == Src[I].Count && "parameter tensor size mismatch");
     std::memcpy(Dst[I].Values, Src[I].Values, Dst[I].Count * sizeof(float));
   }
+  bumpParamGeneration();
 }
 
 bool Network::saveParams(const std::string &Path) {
@@ -111,6 +130,8 @@ bool Network::loadParams(const std::string &Path) {
       break;
   }
   std::fclose(F);
+  if (Ok)
+    bumpParamGeneration();
   return Ok;
 }
 

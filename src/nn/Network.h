@@ -72,6 +72,11 @@ public:
     return *Layers[I];
   }
 
+  /// Bumps every layer's parameter generation, invalidating all packed
+  /// weight caches. Call after mutating parameters outside the optimizers
+  /// (which bump it themselves).
+  void bumpParamGeneration();
+
   /// Copies parameter values from \p Other (architectures must match).
   /// Used for DQN target-network synchronization.
   void copyParamsFrom(Network &Other);

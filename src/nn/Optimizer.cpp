@@ -2,6 +2,7 @@
 
 #include "nn/Optimizer.h"
 
+#include "nn/Gemm.h"
 #include "nn/Network.h"
 
 #include <cassert>
@@ -13,7 +14,7 @@ using namespace au::nn;
 Optimizer::~Optimizer() = default;
 
 Sgd::Sgd(Network &Net, double LearningRate, double Momentum)
-    : Params(Net.params()), Lr(LearningRate), Mu(Momentum) {
+    : Net(&Net), Params(Net.params()), Lr(LearningRate), Mu(Momentum) {
   assert(Lr > 0 && "learning rate must be positive");
   Velocity.reserve(Params.size());
   for (const ParamView &P : Params)
@@ -31,11 +32,12 @@ void Sgd::step(double BatchScale) {
       P.Grads[I] = 0.0f;
     }
   }
+  Net->bumpParamGeneration();
 }
 
 Adam::Adam(Network &Net, double LearningRate, double Beta1, double Beta2,
            double Epsilon)
-    : Params(Net.params()), Lr(LearningRate), B1(Beta1), B2(Beta2),
+    : Net(&Net), Params(Net.params()), Lr(LearningRate), B1(Beta1), B2(Beta2),
       Eps(Epsilon) {
   assert(Lr > 0 && "learning rate must be positive");
   M.reserve(Params.size());
@@ -50,6 +52,21 @@ void Adam::step(double BatchScale) {
   ++Step;
   double Bias1 = 1.0 - std::pow(B1, Step);
   double Bias2 = 1.0 - std::pow(B2, Step);
+  if (simdKernelsActive()) {
+    // Fused single-precision update: moments, bias correction, parameter
+    // step, and gradient clear in one vectorized pass per tensor.
+    for (size_t T = 0, E = Params.size(); T != E; ++T) {
+      ParamView &P = Params[T];
+      adamUpdateKernel(P.Values, P.Grads, M[T].data(), V[T].data(), P.Count,
+                       static_cast<float>(Lr), static_cast<float>(B1),
+                       static_cast<float>(B2), static_cast<float>(Eps),
+                       static_cast<float>(1.0 / Bias1),
+                       static_cast<float>(1.0 / Bias2),
+                       static_cast<float>(BatchScale));
+    }
+    Net->bumpParamGeneration();
+    return;
+  }
   for (size_t T = 0, E = Params.size(); T != E; ++T) {
     ParamView &P = Params[T];
     std::vector<float> &Mt = M[T];
@@ -64,4 +81,5 @@ void Adam::step(double BatchScale) {
       P.Grads[I] = 0.0f;
     }
   }
+  Net->bumpParamGeneration();
 }

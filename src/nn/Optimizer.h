@@ -41,6 +41,7 @@ public:
   void step(double BatchScale) override;
 
 private:
+  Network *Net; ///< For parameter-generation bumps on step().
   std::vector<ParamView> Params;
   double Lr;
   double Mu;
@@ -59,6 +60,7 @@ public:
   double learningRate() const { return Lr; }
 
 private:
+  Network *Net; ///< For parameter-generation bumps on step().
   std::vector<ParamView> Params;
   double Lr, B1, B2, Eps;
   long Step = 0;

@@ -4,6 +4,7 @@
 
 #include "nn/Gemm.h"
 #include "nn/Loss.h"
+#include "nn/Workspace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -13,14 +14,17 @@ using namespace au::nn;
 
 namespace {
 
-/// Single-state inference. Under the GEMM backend this routes through the
-/// batched engine with a batch of one, so the au_NN serving path uses the
-/// same fast kernels as training.
+/// Single-state inference. Under the batched backends this routes through
+/// the batched engine with a batch of one, so the au_NN serving path uses
+/// the same fast kernels as training. Returns a workspace tensor; the caller
+/// releases it.
 Tensor forwardOne(Network &Net, const std::vector<float> &State) {
-  if (backend() == Backend::Gemm) {
-    Tensor X({1, static_cast<int>(State.size())});
+  if (backend() != Backend::Naive) {
+    Tensor X = Workspace::acquire({1, static_cast<int>(State.size())});
     std::copy(State.begin(), State.end(), X.data());
-    return Net.forwardBatch(X);
+    Tensor Out = Net.forwardBatch(X);
+    Workspace::release(X);
+    return Out;
   }
   return Net.forward(Tensor::fromVector(State));
 }
@@ -41,7 +45,9 @@ std::vector<float> QLearner::qValues(const std::vector<float> &State) {
   Tensor Out = forwardOne(Online, State);
   assert(Out.size() == static_cast<size_t>(NumActions) &&
          "network output arity does not match action count");
-  return Out.values();
+  std::vector<float> Q = Out.values();
+  Workspace::release(Out);
+  return Q;
 }
 
 int QLearner::selectAction(const std::vector<float> &State, bool Learning) {
@@ -52,7 +58,9 @@ int QLearner::selectAction(const std::vector<float> &State, bool Learning) {
 
 int QLearner::greedyAction(const std::vector<float> &State) {
   Tensor Out = forwardOne(Online, State);
-  return static_cast<int>(Out.argmax());
+  int Act = static_cast<int>(Out.argmax());
+  Workspace::release(Out);
+  return Act;
 }
 
 void QLearner::observe(std::vector<float> State, int Action, float Reward,
@@ -83,7 +91,7 @@ void QLearner::selectActionsBatch(const float *States, int K, int D,
   // but computing them keeps the batch shape fixed and the result a pure
   // function of the states — no data-dependent batching.
   Tensor Out;
-  if (backend() == Backend::Gemm) {
+  if (backend() != Backend::Naive) {
     if (ActStaging.size() != static_cast<size_t>(K) * D)
       ActStaging = Tensor({K, D});
     std::copy(States, States + static_cast<size_t>(K) * D, ActStaging.data());
@@ -110,6 +118,7 @@ void QLearner::selectActionsBatch(const float *States, int K, int D,
     Actions[A] = static_cast<int>(
         std::max_element(Row, Row + NumActions) - Row);
   }
+  Workspace::release(Out);
 }
 
 void QLearner::observeActor(int Actor, const float *State, size_t StateLen,
@@ -213,7 +222,10 @@ void QLearner::trainStep() {
       float Diff = Pred.sampleData(B)[T.Action] - Y;
       BatchGrad.sampleData(B)[T.Action] = std::clamp(Diff, -1.0f, 1.0f);
     }
-    Online.backwardBatch(BatchGrad);
+    Workspace::release(NextQ);
+    Workspace::release(Pred);
+    Tensor DIn = Online.backwardBatch(BatchGrad);
+    Workspace::release(DIn);
   }
   Opt.step(1.0 / Cfg.BatchSize);
 }

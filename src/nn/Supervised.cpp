@@ -4,6 +4,7 @@
 
 #include "nn/Gemm.h"
 #include "nn/Loss.h"
+#include "nn/Workspace.h"
 #include "support/Rng.h"
 #include "support/ThreadPool.h"
 
@@ -74,7 +75,7 @@ double SupervisedTrainer::train(int Epochs, int BatchSize, Rng &Rand) {
   for (size_t I = 0; I != Order.size(); ++I)
     Order[I] = I;
 
-  const bool Batched = backend() == Backend::Gemm;
+  const bool Batched = backend() != Backend::Naive;
   size_t NX = Data.front().X.size(), NY = Data.front().Y.size();
   // Double-buffered minibatch staging: while the engine trains on one slot,
   // a pool worker extracts (normalizes and packs) the next minibatch into
@@ -128,14 +129,19 @@ double SupervisedTrainer::train(int Epochs, int BatchSize, Rng &Rand) {
         size_t NextStart = (B + 1) * static_cast<size_t>(BatchSize);
         if (NextStart < Order.size()) {
           BatchSlot *NextSlot = &Slots[(B + 1) % 2];
-          Prefetch = Pool.async([&fillSlot, NextSlot, NextStart] {
+          if (Pool.hasWorkers())
+            Prefetch = Pool.async([&fillSlot, NextSlot, NextStart] {
+              fillSlot(*NextSlot, NextStart);
+            });
+          else // Inline fill: skip the task's type-erasure allocation.
             fillSlot(*NextSlot, NextStart);
-          });
         }
         BatchSlot &S = Slots[B % 2];
         Tensor Pred = Net.forwardBatch(S.X);
         EpochLoss += mseLossBatch(Pred, S.Y, GradB);
-        Net.backwardBatch(GradB);
+        Workspace::release(Pred);
+        Tensor DIn = Net.backwardBatch(GradB);
+        Workspace::release(DIn);
         Opt.step(1.0 / static_cast<double>(S.Bn));
         if (Prefetch.valid())
           Prefetch.wait(); // The next slot must be complete before use.
@@ -169,7 +175,7 @@ double SupervisedTrainer::train(int Epochs, int BatchSize, Rng &Rand) {
 std::vector<float> SupervisedTrainer::predict(const std::vector<float> &X) {
   assert(Normalized && "predict before train");
   Tensor Out;
-  if (backend() == Backend::Gemm)
+  if (backend() != Backend::Naive)
     Out = Net.forwardBatch(
         normalizeX(X).reshaped({1, static_cast<int>(X.size())}));
   else
@@ -177,6 +183,7 @@ std::vector<float> SupervisedTrainer::predict(const std::vector<float> &X) {
   std::vector<float> Y(Out.size());
   for (size_t I = 0, E = Out.size(); I != E; ++I)
     Y[I] = Out[I] * YStd[I] + YMean[I];
+  Workspace::release(Out);
   return Y;
 }
 
@@ -208,6 +215,7 @@ SupervisedTrainer::predictBatch(const std::vector<std::vector<float>> &Xs) {
       Y[I] = Row[I] * YStd[I] + YMean[I];
     Out.push_back(std::move(Y));
   }
+  Workspace::release(Pred);
   return Out;
 }
 
@@ -251,6 +259,7 @@ void SupervisedTrainer::predictRowsInto(const float *Xs, int Rows,
     for (size_t I = 0; I != NY; ++I)
       Out[static_cast<size_t>(R) * NY + I] = Row[I] * YStd[I] + YMean[I];
   }
+  Workspace::release(Pred);
 }
 
 void SupervisedTrainer::getNormalization(std::vector<float> &XM,

@@ -22,6 +22,19 @@ Tensor Tensor::fromVector(const std::vector<float> &Values) {
   return T;
 }
 
+Tensor Tensor::adopt(std::vector<float> Buffer, std::vector<int> Shape) {
+  Tensor T;
+  T.Dims = std::move(Shape);
+  size_t N = 1;
+  for (int D : T.Dims) {
+    assert(D > 0 && "tensor dimensions must be positive");
+    N *= static_cast<size_t>(D);
+  }
+  assert(N == Buffer.size() && "adopted buffer size must match shape");
+  T.Data = std::move(Buffer);
+  return T;
+}
+
 Tensor Tensor::reshaped(std::vector<int> NewShape) const {
   Tensor T;
   T.Dims = std::move(NewShape);

@@ -35,6 +35,10 @@ public:
   /// Creates a rank-1 tensor from raw values.
   static Tensor fromVector(const std::vector<float> &Values);
 
+  /// Wraps an existing buffer (element count must match the shape product)
+  /// without initializing it — the workspace recycling path.
+  static Tensor adopt(std::vector<float> Buffer, std::vector<int> Shape);
+
   const std::vector<int> &shape() const { return Dims; }
   size_t size() const { return Data.size(); }
   bool empty() const { return Data.empty(); }
@@ -112,6 +116,8 @@ public:
   float maxValue() const;
 
 private:
+  friend class Workspace; ///< Recycles Dims/Data buffers without copies.
+
   std::vector<int> Dims;
   std::vector<float> Data;
 };

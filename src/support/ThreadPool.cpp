@@ -129,7 +129,7 @@ void ThreadPool::TaskHandle::wait() {
 }
 
 void ThreadPool::parallelFor(size_t Begin, size_t End, size_t Grain,
-                             const std::function<void(size_t, size_t)> &Body) {
+                             LoopBodyRef Body) {
   if (Begin >= End)
     return;
   assert(Grain > 0 && "parallelFor grain must be positive");
@@ -139,7 +139,9 @@ void ThreadPool::parallelFor(size_t Begin, size_t End, size_t Grain,
     return;
   }
   auto J = std::make_shared<Job>();
-  J->Body = Body;
+  // LoopBodyRef is two pointers and trivially copyable, so this capture fits
+  // std::function's small-object buffer — no heap allocation here.
+  J->Body = [Body](size_t B, size_t E) { Body(B, E); };
   J->Begin = Begin;
   J->End = End;
   J->Grain = Grain;
@@ -177,10 +179,8 @@ void ThreadPool::setGlobalThreads(int NumThreads) {
   Global = std::make_unique<ThreadPool>(NumThreads);
 }
 
-void au::parallelShardedSum(
-    size_t Items, size_t ShardGrain, size_t AccSize,
-    const std::function<void(size_t Begin, size_t End, float *Acc)> &Body,
-    float *Out) {
+void au::parallelShardedSum(size_t Items, size_t ShardGrain, size_t AccSize,
+                            ShardBodyRef Body, float *Out) {
   if (Items == 0 || AccSize == 0)
     return;
   assert(ShardGrain > 0 && "shard grain must be positive");
@@ -189,7 +189,11 @@ void au::parallelShardedSum(
   constexpr size_t MaxShards = 16;
   size_t NumShards = std::min(MaxShards, (Items + ShardGrain - 1) / ShardGrain);
   size_t Span = (Items + NumShards - 1) / NumShards;
-  std::vector<float> Bufs(NumShards * AccSize, 0.0f);
+  // Reused across calls on this thread; assign() zeroes within the retained
+  // capacity, so steady-state training does not allocate here.
+  static thread_local std::vector<float> ShardBufs;
+  std::vector<float> &Bufs = ShardBufs;
+  Bufs.assign(NumShards * AccSize, 0.0f);
   ThreadPool::global().parallelFor(0, NumShards, 1, [&](size_t B, size_t E) {
     for (size_t S = B; S != E; ++S) {
       size_t Lo = S * Span;

@@ -36,9 +36,55 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace au {
+
+/// Non-owning reference to a `void(size_t, size_t)` loop body. parallelFor
+/// joins before returning, so the referenced callable always outlives its
+/// use; taking this instead of std::function keeps the steady-state hot path
+/// free of type-erasure heap allocations. Two pointers, trivially copyable —
+/// it fits std::function's small-object buffer when a Job must store it.
+class LoopBodyRef {
+public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, LoopBodyRef>>>
+  LoopBodyRef(F &&Fn) // NOLINT: implicit by design, mirrors function_ref.
+      : Obj(const_cast<void *>(static_cast<const void *>(&Fn))),
+        Call([](void *O, size_t B, size_t E) {
+          (*static_cast<std::remove_reference_t<F> *>(O))(B, E);
+        }) {}
+
+  void operator()(size_t B, size_t E) const { Call(Obj, B, E); }
+
+private:
+  void *Obj;
+  void (*Call)(void *, size_t, size_t);
+};
+
+/// Non-owning reference to a `void(size_t, size_t, float *)` shard body for
+/// parallelShardedSum; same rationale as LoopBodyRef.
+class ShardBodyRef {
+public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, ShardBodyRef>>>
+  ShardBodyRef(F &&Fn) // NOLINT: implicit by design.
+      : Obj(const_cast<void *>(static_cast<const void *>(&Fn))),
+        Call([](void *O, size_t B, size_t E, float *Acc) {
+          (*static_cast<std::remove_reference_t<F> *>(O))(B, E, Acc);
+        }) {}
+
+  void operator()(size_t B, size_t E, float *Acc) const {
+    Call(Obj, B, E, Acc);
+  }
+
+private:
+  void *Obj;
+  void (*Call)(void *, size_t, size_t, float *);
+};
 
 /// A fixed-size pool of worker threads executing chunked parallel loops.
 class ThreadPool {
@@ -86,9 +132,9 @@ public:
   /// \p Grain iterations. Body receives half-open sub-ranges. Chunk
   /// boundaries are a pure function of the range and grain, so any
   /// computation whose chunks write disjoint data is deterministic at every
-  /// thread count. Nested calls (from inside a Body) run inline.
-  void parallelFor(size_t Begin, size_t End, size_t Grain,
-                   const std::function<void(size_t, size_t)> &Body);
+  /// thread count. Nested calls (from inside a Body) run inline. Joins
+  /// before returning, so passing a reference to a stack callable is safe.
+  void parallelFor(size_t Begin, size_t End, size_t Grain, LoopBodyRef Body);
 
   /// The process-wide pool, created on first use with AU_NN_THREADS threads
   /// (default: hardware concurrency).
@@ -126,11 +172,11 @@ private:
 /// the range is split into at most 16 shards (a pure function of \p Items
 /// and \p ShardGrain), \p Body accumulates each shard into its own
 /// zero-initialized buffer of \p AccSize floats, and the buffers are folded
-/// pairwise in a fixed tree order, then added into \p Out.
-void parallelShardedSum(
-    size_t Items, size_t ShardGrain, size_t AccSize,
-    const std::function<void(size_t Begin, size_t End, float *Acc)> &Body,
-    float *Out);
+/// pairwise in a fixed tree order, then added into \p Out. The shard buffers
+/// are thread_local to the issuing thread (reused across calls), so this
+/// must not be called recursively from inside its own Body.
+void parallelShardedSum(size_t Items, size_t ShardGrain, size_t AccSize,
+                        ShardBodyRef Body, float *Out);
 
 } // namespace au
 
