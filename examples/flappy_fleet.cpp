@@ -34,12 +34,15 @@ int main(int argc, char **argv) {
   Opt.Seed = 21;
   Opt.QCfg.EpsilonDecaySteps = 4000;
 
-  // Serial reference: the paper's loop, one minibatch per env step.
+  // Serial reference: the paper's loop, one minibatch per env step. Each
+  // run gets its own Engine (model store θ) and Session (⟨σ, π⟩), the
+  // native API of DESIGN.md §10, so the two trained models stay apart.
   std::printf("Serial training (%ld steps)...\n", Opt.TrainSteps);
   FlappyEnv Env;
-  Runtime SerialRT(Mode::TR);
-  RlTrainResult Serial = trainRl(Env, SerialRT, Opt);
-  RlEvalResult SerialScore = evalRl(Env, SerialRT, Opt, 20);
+  Engine SerialEng;
+  Session SerialS(SerialEng, Mode::TR);
+  RlTrainResult Serial = trainRl(Env, SerialS, Opt);
+  RlEvalResult SerialScore = evalRl(Env, SerialS, Opt, 20);
 
   // Fleet: one minibatch per K-step tick, so spending the throughput win
   // on K-fold experience costs the same number of updates (and about the
@@ -50,10 +53,12 @@ int main(int argc, char **argv) {
   Opt.QCfg.TrainInterval = Actors;
   std::printf("Fleet training (%d actors, %ld steps)...\n", Actors,
               Opt.TrainSteps);
-  Runtime FleetRT(Mode::TR);
+  Engine FleetEng;
+  Session FleetMain(FleetEng, Mode::TR);
   GameEnvFactory Factory = [] { return std::make_unique<FlappyEnv>(); };
-  RlTrainResult Fleet = trainRlParallel(Factory, FleetRT, Opt, Actors);
-  RlEvalResult FleetScore = evalRlBatched(Factory, FleetRT, Opt, 20);
+  RlTrainResult Fleet =
+      trainRlParallel(Factory, FleetEng, FleetMain, Opt, Actors);
+  RlEvalResult FleetScore = evalRlBatched(Factory, FleetEng, FleetMain, Opt, 20);
 
   std::printf("\n%-22s %12s %12s\n", "", "serial", "fleet");
   std::printf("%-22s %12.2f %12.2f\n", "train seconds",

@@ -24,7 +24,10 @@ int main(int Argc, char **Argv) {
   long TrainSteps = Argc > 1 ? std::atol(Argv[1]) : 12000;
 
   MarioEnv Game;
-  Runtime RT(Mode::TR);
+  // The native Engine/Session split (DESIGN.md §10): the Engine owns the
+  // shared model store θ, the Session owns this client's ⟨σ, π⟩ stores.
+  Engine Eng;
+  Session RT(Eng, Mode::TR);
 
   // initGame(): au_config (Fig. 2 line 3).
   ModelConfig Cfg;

@@ -18,7 +18,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Runtime.h"
+#include "core/Engine.h"
 #include "support/Rng.h"
 #include "support/Statistics.h"
 
@@ -100,13 +100,13 @@ static int idealWidth(const Workload &W) {
 /// Runs the smoother with Autonomizer installed. In TR mode \p TrainWidth
 /// is the known-good width being demonstrated; in TS mode the model
 /// decides.
-static double runAutonomized(Runtime &RT, const Workload &W,
+static double runAutonomized(Session &S, const Workload &W,
                              int TrainWidth) {
   // au_config: a small DNN trained with AdamOpt (idempotent).
   ModelConfig Cfg;
   Cfg.Name = "WidthNN";
   Cfg.HiddenLayers = {16, 8};
-  RT.config(Cfg);
+  S.config(Cfg);
 
   // au_extract: the feature variables — cheap signal statistics the
   // program can compute before choosing the width. (A real deployment
@@ -114,43 +114,46 @@ static double runAutonomized(Runtime &RT, const Workload &W,
   std::vector<double> Diffs;
   for (size_t I = 1; I < W.Noisy.size(); ++I)
     Diffs.push_back(W.Noisy[I] - W.Noisy[I - 1]);
-  RT.extract("ROUGHNESS", stddev(Diffs));
-  RT.extract("SPREAD", stddev(W.Noisy));
+  S.extract("ROUGHNESS", stddev(Diffs));
+  S.extract("SPREAD", stddev(W.Noisy));
 
   // au_serialize + au_NN: feed the features, declare the output.
-  std::string Ext = RT.serialize({"ROUGHNESS", "SPREAD"});
-  RT.nn("WidthNN", Ext, {{"WIDTH", 1}});
+  std::string Ext = S.serialize({"ROUGHNESS", "SPREAD"});
+  S.nn("WidthNN", Ext, {{"WIDTH", 1}});
 
   // au_write_back: TR records the demonstrated width as the label;
   // TS overwrites it with the model's prediction.
   float WidthV = static_cast<float>(TrainWidth);
-  RT.writeBack("WIDTH", 1, &WidthV);
+  S.writeBack("WIDTH", 1, &WidthV);
   int Width = static_cast<int>(clamp(std::lround(WidthV), 1, 12));
 
   return quality(smooth(W.Noisy, Width), W.Clean);
 }
 
 int main() {
-  Runtime RT(Mode::TR);
+  // The Engine owns the shared model store; the Session is this
+  // execution's private state (DESIGN.md §10).
+  Engine Eng;
+  Session S(Eng, Mode::TR);
 
   // --- Phase 1+2: training runs piggyback on normal operation. ---
   std::printf("Training on 80 demonstration runs...\n");
   for (uint64_t Seed = 0; Seed < 80; ++Seed) {
     Workload W = makeWorkload(Seed);
-    runAutonomized(RT, W, idealWidth(W));
+    runAutonomized(S, W, idealWidth(W));
   }
-  double Loss = RT.trainSupervised("WidthNN", /*Epochs=*/120,
+  double Loss = S.trainSupervised("WidthNN", /*Epochs=*/120,
                                    /*BatchSize=*/16);
   std::printf("Final training loss: %.4f\n\n", Loss);
 
   // --- Phase 3: deployment. ---
-  RT.switchMode(Mode::TS);
+  S.switchMode(Mode::TS);
   double FixedQ = 0.0, AutoQ = 0.0, OracleQ = 0.0;
   const int NumTest = 20;
   for (uint64_t Seed = 1000; Seed < 1000 + NumTest; ++Seed) {
     Workload W = makeWorkload(Seed);
     FixedQ += quality(smooth(W.Noisy, /*W=*/4), W.Clean); // One-size default.
-    AutoQ += runAutonomized(RT, W, /*TrainWidth=*/0);     // Model decides.
+    AutoQ += runAutonomized(S, W, /*TrainWidth=*/0);      // Model decides.
     OracleQ += quality(smooth(W.Noisy, idealWidth(W)), W.Clean);
   }
   std::printf("Mean quality over %d unseen inputs (higher is better):\n",

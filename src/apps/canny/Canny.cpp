@@ -253,6 +253,17 @@ void au::apps::cannyProfile(analysis::Tracer &T,
 // The experiment driver (Section 6.3)
 //===----------------------------------------------------------------------===//
 
+/// Per-version model names: the three versions are tenants of ONE engine,
+/// so their models coexist in the shared store θ under distinct keys.
+static std::string sigmaModelName(SlPick Pick) {
+  static const char *Suffix[] = {"_min", "_med", "_raw"};
+  return std::string("SigmaNN") + Suffix[static_cast<int>(Pick)];
+}
+static std::string threshModelName(SlPick Pick) {
+  static const char *Suffix[] = {"_min", "_med", "_raw"};
+  return std::string("ThreshNN") + Suffix[static_cast<int>(Pick)];
+}
+
 CannyExperiment::CannyExperiment(int NumTrain, int NumTest, uint64_t S)
     : Seed(S) {
   for (int I = 0; I < NumTrain; ++I) {
@@ -261,8 +272,8 @@ CannyExperiment::CannyExperiment(int NumTrain, int NumTest, uint64_t S)
   }
   for (int I = 0; I < NumTest; ++I)
     TestScenes.push_back(makeCannyScene(Seed + 10000 + I));
-  for (auto &RT : Runtimes)
-    RT = std::make_unique<Runtime>(Mode::TR);
+  for (auto &Sn : Sessions)
+    Sn = std::make_unique<Session>(Eng, Mode::TR);
 }
 
 std::vector<float>
@@ -284,36 +295,39 @@ CannyExperiment::thresholdFeature(const CannyScene &Scene,
   return {};
 }
 
-Image CannyExperiment::runAnnotated(Runtime &RT, const CannyScene &Scene,
+Image CannyExperiment::runAnnotated(Session &S, const CannyScene &Scene,
                                     SlPick Pick,
                                     const CannyParams &TrainParams) {
-  // au_config (Fig. 11 lines 14-15); idempotent after the first call.
+  // au_config (Fig. 11 lines 14-15); idempotent after the first call. The
+  // model names carry the version so the three tenants of the shared
+  // engine train independent models.
   ModelConfig SigmaCfg;
-  SigmaCfg.Name = "SigmaNN";
+  SigmaCfg.Name = sigmaModelName(Pick);
   SigmaCfg.HiddenLayers = {48, 24};
   SigmaCfg.Seed = Seed + 1;
-  RT.config(SigmaCfg);
+  S.config(SigmaCfg);
   ModelConfig ThreshCfg;
-  ThreshCfg.Name = "ThreshNN";
+  ThreshCfg.Name = threshModelName(Pick);
   ThreshCfg.HiddenLayers = {48, 24};
   ThreshCfg.Seed = Seed + 2;
-  RT.config(ThreshCfg);
+  S.config(ThreshCfg);
 
   CannyParams P = TrainParams;
 
   // Interned handles for the per-frame primitives (idempotent; the hot
   // path below is then string-free).
-  NameId SigmaNN = RT.intern("SigmaNN"), ThreshNN = RT.intern("ThreshNN");
-  NameId Img = RT.intern("IMG");
-  WriteBackHandle SigmaOut{RT.intern("SIGMA"), 1};
-  WriteBackHandle LoOut{RT.intern("LO"), 1}, HiOut{RT.intern("HI"), 1};
+  NameId SigmaNN = S.intern(sigmaModelName(Pick));
+  NameId ThreshNN = S.intern(threshModelName(Pick));
+  NameId Img = S.intern("IMG");
+  WriteBackHandle SigmaOut{S.intern("SIGMA"), 1};
+  WriteBackHandle LoOut{S.intern("LO"), 1}, HiOut{S.intern("HI"), 1};
 
   // 1. Gaussian smoothing: predict sigma from the (downsampled) image.
   Image Small = resize(Scene.Input, CannyFeatureSide, CannyFeatureSide);
-  RT.extract(Img, Small.size(), Small.data().data());
-  RT.nn(SigmaNN, Img, {SigmaOut});
+  S.extract(Img, Small.size(), Small.data().data());
+  S.nn(SigmaNN, Img, {SigmaOut});
   float SigmaV = static_cast<float>(P.Sigma);
-  RT.writeBack(SigmaOut.Name, 1, &SigmaV);
+  S.writeBack(SigmaOut.Name, 1, &SigmaV);
   P.Sigma = clamp(SigmaV, 0.6, 3.0);
 
   // 2. Run the pipeline up to the histogram with the default parameters —
@@ -323,15 +337,15 @@ Image CannyExperiment::runAnnotated(Runtime &RT, const CannyScene &Scene,
   CannyTrace Trace;
   cannyDetect(Scene.Input, CannyParams(), &Trace);
   std::vector<float> Feat = thresholdFeature(Scene, Trace, Pick);
-  NameId FeatId = RT.intern(Pick == SlPick::Min
-                                ? "HIST"
-                                : (Pick == SlPick::Med ? "SIMG" : "RAWIMG"));
-  RT.extract(FeatId, Feat.size(), Feat.data());
-  RT.nn(ThreshNN, FeatId, {LoOut, HiOut});
+  NameId FeatId = S.intern(Pick == SlPick::Min
+                               ? "HIST"
+                               : (Pick == SlPick::Med ? "SIMG" : "RAWIMG"));
+  S.extract(FeatId, Feat.size(), Feat.data());
+  S.nn(ThreshNN, FeatId, {LoOut, HiOut});
   float LoV = static_cast<float>(P.LoFrac);
   float HiV = static_cast<float>(P.HiFrac);
-  RT.writeBack(LoOut.Name, 1, &LoV);
-  RT.writeBack(HiOut.Name, 1, &HiV);
+  S.writeBack(LoOut.Name, 1, &LoV);
+  S.writeBack(HiOut.Name, 1, &HiV);
   P.LoFrac = clamp(LoV, 0.1, 0.95);
   P.HiFrac = clamp(HiV, 0.3, 0.985);
 
@@ -340,54 +354,56 @@ Image CannyExperiment::runAnnotated(Runtime &RT, const CannyScene &Scene,
 }
 
 double CannyExperiment::train(SlPick Pick, int Epochs) {
-  Runtime &RT = *Runtimes[Idx(Pick)];
-  assert(RT.mode() == Mode::TR && "training twice on the same version");
+  Session &S = *Sessions[Idx(Pick)];
+  assert(S.mode() == Mode::TR && "training twice on the same version");
   Timer T;
   for (size_t I = 0; I != TrainScenes.size(); ++I)
-    runAnnotated(RT, TrainScenes[I], Pick, TrainOracle[I]);
-  RT.trainSupervised("SigmaNN", Epochs, 16);
-  RT.trainSupervised("ThreshNN", Epochs, 16);
+    runAnnotated(S, TrainScenes[I], Pick, TrainOracle[I]);
+  S.trainSupervised(sigmaModelName(Pick), Epochs, 16);
+  S.trainSupervised(threshModelName(Pick), Epochs, 16);
   double Secs = T.seconds();
-  TraceBytesPer[Idx(Pick)] = RT.stats().traceBytes();
-  ModelBytesPer[Idx(Pick)] = RT.getModel("SigmaNN")->modelSizeBytes() +
-                             RT.getModel("ThreshNN")->modelSizeBytes();
-  RT.switchMode(Mode::TS);
+  TraceBytesPer[Idx(Pick)] = S.stats().traceBytes();
+  ModelBytesPer[Idx(Pick)] =
+      S.getModel(sigmaModelName(Pick))->modelSizeBytes() +
+      S.getModel(threshModelName(Pick))->modelSizeBytes();
+  S.switchMode(Mode::TS);
   return Secs;
 }
 
 std::vector<std::pair<int, double>>
 CannyExperiment::trainEpochCurve(SlPick Pick,
                                  const std::vector<int> &EpochPoints) {
-  Runtime &RT = *Runtimes[Idx(Pick)];
-  assert(RT.mode() == Mode::TR && "curve training on an already-trained run");
+  Session &S = *Sessions[Idx(Pick)];
+  assert(S.mode() == Mode::TR && "curve training on an already-trained run");
   for (size_t I = 0; I != TrainScenes.size(); ++I)
-    runAnnotated(RT, TrainScenes[I], Pick, TrainOracle[I]);
-  TraceBytesPer[Idx(Pick)] = RT.stats().traceBytes();
-  ModelBytesPer[Idx(Pick)] = RT.getModel("SigmaNN")->modelSizeBytes() +
-                             RT.getModel("ThreshNN")->modelSizeBytes();
+    runAnnotated(S, TrainScenes[I], Pick, TrainOracle[I]);
+  TraceBytesPer[Idx(Pick)] = S.stats().traceBytes();
+  ModelBytesPer[Idx(Pick)] =
+      S.getModel(sigmaModelName(Pick))->modelSizeBytes() +
+      S.getModel(threshModelName(Pick))->modelSizeBytes();
   std::vector<std::pair<int, double>> Curve;
   int Done = 0;
   for (int Point : EpochPoints) {
     assert(Point >= Done && "epoch points must ascend");
     if (Point > Done) {
-      RT.trainSupervised("SigmaNN", Point - Done, 16);
-      RT.trainSupervised("ThreshNN", Point - Done, 16);
+      S.trainSupervised(sigmaModelName(Pick), Point - Done, 16);
+      S.trainSupervised(threshModelName(Pick), Point - Done, 16);
       Done = Point;
     }
-    RT.switchMode(Mode::TS);
+    S.switchMode(Mode::TS);
     Curve.emplace_back(Point, testScore(Pick));
-    RT.switchMode(Mode::TR);
+    S.switchMode(Mode::TR);
   }
-  RT.switchMode(Mode::TS);
+  S.switchMode(Mode::TS);
   return Curve;
 }
 
 std::vector<double> CannyExperiment::perSceneScores(SlPick Pick) {
-  Runtime &RT = *Runtimes[Idx(Pick)];
-  assert(RT.mode() == Mode::TS && "test before train");
+  Session &S = *Sessions[Idx(Pick)];
+  assert(S.mode() == Mode::TS && "test before train");
   std::vector<double> Scores;
   for (const CannyScene &Scene : TestScenes) {
-    Image Edges = runAnnotated(RT, Scene, Pick, CannyParams());
+    Image Edges = runAnnotated(S, Scene, Pick, CannyParams());
     Scores.push_back(cannyScore(Edges, Scene.Truth));
   }
   return Scores;
@@ -415,11 +431,11 @@ double CannyExperiment::oracleScore() {
 }
 
 double CannyExperiment::autonomizedExecSeconds(SlPick Pick) {
-  Runtime &RT = *Runtimes[Idx(Pick)];
-  assert(RT.mode() == Mode::TS && "timing requires a trained version");
+  Session &S = *Sessions[Idx(Pick)];
+  assert(S.mode() == Mode::TS && "timing requires a trained version");
   Timer T;
   for (const CannyScene &Scene : TestScenes)
-    runAnnotated(RT, Scene, Pick, CannyParams());
+    runAnnotated(S, Scene, Pick, CannyParams());
   return T.seconds() / static_cast<double>(TestScenes.size());
 }
 

@@ -24,7 +24,7 @@
 #define AU_APPS_CANNY_CANNY_H
 
 #include "analysis/FeatureExtraction.h"
-#include "core/Runtime.h"
+#include "core/Engine.h"
 #include "support/Image.h"
 
 namespace au {
@@ -126,8 +126,9 @@ public:
   size_t modelBytes(analysis::SlPick Pick) const;
 
 private:
-  /// Runs one scene through the annotated program (Fig. 11) under \p RT.
-  Image runAnnotated(Runtime &RT, const CannyScene &Scene,
+  /// Runs one scene through the annotated program (Fig. 11) in session
+  /// \p S — the version's private ⟨σ, π⟩ over the shared engine.
+  Image runAnnotated(Session &S, const CannyScene &Scene,
                      analysis::SlPick Pick, const CannyParams &TrainParams);
 
   /// The feature vector each version extracts.
@@ -141,8 +142,11 @@ private:
   std::vector<CannyParams> TrainOracle;
   std::vector<CannyScene> TestScenes;
   uint64_t Seed;
-  // One runtime per version so the models stay independent.
-  std::vector<std::unique_ptr<Runtime>> Runtimes{3};
+  // One engine hosts all three versions as separate tenants: each version
+  // is a Session with its own ⟨σ, π⟩ stores and per-version model names
+  // ("SigmaNN_min", ...) in the shared model store θ (DESIGN.md §10).
+  Engine Eng;
+  std::vector<std::unique_ptr<Session>> Sessions{3};
   size_t TraceBytesPer[3] = {0, 0, 0};
   size_t ModelBytesPer[3] = {0, 0, 0};
 };

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
 using namespace au;
 using namespace au::apps;
@@ -47,9 +48,11 @@ au::apps::selectRlFeatures(GameEnv &Env, double Epsilon1, double Epsilon2,
 namespace {
 /// Interned handles for one drive loop (DESIGN.md §7): names are resolved
 /// to NameIds once here, so the per-step extract/serialize/nn/write_back
-/// path neither hashes nor copies a string. Feature positions within
-/// Env.features() are resolved once too, replacing the per-step linear
-/// name search.
+/// path neither hashes nor copies a string. Handles come from the engine's
+/// master name table, so one handle set is valid in every Session of the
+/// engine — the lane sessions of the parallel paths included. Feature
+/// positions within Env.features() are resolved once too, replacing the
+/// per-step linear name search.
 struct RlHandles {
   NameId Model = InvalidNameId;
   NameId Img = InvalidNameId;
@@ -57,20 +60,46 @@ struct RlHandles {
   std::vector<NameId> Features;   ///< Parallel to Opt.FeatureNames.
   std::vector<size_t> FeatureIdx; ///< Position in Env.features() (lazy).
 };
+
+/// K per-actor Sessions over one Engine (the DESIGN.md §10 shape of the §8
+/// actor fleet). Sessions are created mirroring the full master name table,
+/// so handles interned beforehand index every lane store. On destruction
+/// nothing folds automatically — callers fold the lanes' primitive counters
+/// into the session whose stats they report (foldInto).
+struct SessionPool {
+  std::vector<std::unique_ptr<Session>> Lanes;
+  std::vector<Session *> Ptrs; ///< Engine batcher argument form.
+
+  SessionPool(Engine &Eng, Mode M, int K) {
+    Lanes.reserve(static_cast<size_t>(K));
+    Ptrs.reserve(static_cast<size_t>(K));
+    for (int A = 0; A != K; ++A) {
+      Lanes.push_back(std::make_unique<Session>(Eng, M));
+      Ptrs.push_back(Lanes.back().get());
+    }
+  }
+
+  Session &lane(int A) { return *Lanes[static_cast<size_t>(A)]; }
+
+  void foldInto(Session &Main) {
+    for (auto &L : Lanes)
+      Main.foldStats(L->stats());
+  }
+};
 } // namespace
 
-static RlHandles makeHandles(GameEnv &Env, Runtime &RT,
+static RlHandles makeHandles(GameEnv &Env, Session &S,
                              const RlTrainOptions &Opt) {
   RlHandles H;
-  H.Model = RT.intern(rlModelName(Env, Opt.Variant));
-  H.Output = {RT.intern("output"), Env.numActions()};
+  H.Model = S.intern(rlModelName(Env, Opt.Variant));
+  H.Output = {S.intern("output"), Env.numActions()};
   if (Opt.Variant == RlVariant::Raw) {
-    H.Img = RT.intern("IMG");
+    H.Img = S.intern("IMG");
     return H;
   }
   H.Features.reserve(Opt.FeatureNames.size());
   for (const std::string &Name : Opt.FeatureNames)
-    H.Features.push_back(RT.intern(Name));
+    H.Features.push_back(S.intern(Name));
   return H;
 }
 
@@ -100,11 +129,11 @@ static void resolveFeatureIdx(GameEnv &Env, const RlTrainOptions &Opt,
 /// the feature positions within Env.features() are resolved and cached in
 /// \p H (the env must be reset by then), replacing the per-step linear name
 /// search of featureValue().
-static NameId extractState(GameEnv &Env, Runtime &RT,
+static NameId extractState(GameEnv &Env, Session &S,
                            const RlTrainOptions &Opt, RlHandles &H) {
   if (Opt.Variant == RlVariant::Raw) {
     Image Frame = Env.renderFrame(Opt.FrameSide);
-    RT.extract(H.Img, Frame.size(), Frame.data().data());
+    S.extract(H.Img, Frame.size(), Frame.data().data());
     return H.Img;
   }
   resolveFeatureIdx(Env, Opt, H);
@@ -112,20 +141,20 @@ static NameId extractState(GameEnv &Env, Runtime &RT,
   for (size_t I = 0, E = H.Features.size(); I != E; ++I) {
     assert(Fs[H.FeatureIdx[I]].first == Opt.FeatureNames[I] &&
            "env feature order changed between steps");
-    RT.extract(H.Features[I], Fs[H.FeatureIdx[I]].second);
+    S.extract(H.Features[I], Fs[H.FeatureIdx[I]].second);
   }
-  return RT.serialize(H.Features);
+  return S.serialize(H.Features);
 }
 
-/// extractState into actor \p Actor's database context. \p H must be fully
-/// resolved (resolveFeatureIdx) — this runs concurrently for distinct
-/// actors, so it only reads the shared handle set.
-static NameId extractStateActor(GameEnv &Env, Runtime &RT, int Actor,
-                                const RlTrainOptions &Opt,
-                                const RlHandles &H) {
+/// extractState into lane session \p S. \p H must be fully resolved
+/// (resolveFeatureIdx) — this runs concurrently for distinct lanes, so it
+/// only reads the shared handle set.
+static NameId extractStateLane(GameEnv &Env, Session &S,
+                               const RlTrainOptions &Opt,
+                               const RlHandles &H) {
   if (Opt.Variant == RlVariant::Raw) {
     Image Frame = Env.renderFrame(Opt.FrameSide);
-    RT.extract(Actor, H.Img, Frame.size(), Frame.data().data());
+    S.extract(H.Img, Frame.size(), Frame.data().data());
     return H.Img;
   }
   assert(!H.FeatureIdx.empty() && "feature positions not resolved");
@@ -133,13 +162,13 @@ static NameId extractStateActor(GameEnv &Env, Runtime &RT, int Actor,
   for (size_t I = 0, E = H.Features.size(); I != E; ++I) {
     assert(Fs[H.FeatureIdx[I]].first == Opt.FeatureNames[I] &&
            "env feature order changed between steps");
-    RT.extract(Actor, H.Features[I], Fs[H.FeatureIdx[I]].second);
+    S.extract(H.Features[I], Fs[H.FeatureIdx[I]].second);
   }
-  return RT.serialize(Actor, H.Features);
+  return S.serialize(H.Features);
 }
 
 /// Configures (or finds) the model for this env/variant pair.
-static Model *configureModel(GameEnv &Env, Runtime &RT,
+static Model *configureModel(GameEnv &Env, Session &S,
                              const RlTrainOptions &Opt) {
   ModelConfig C;
   C.Name = rlModelName(Env, Opt.Variant);
@@ -149,29 +178,29 @@ static Model *configureModel(GameEnv &Env, Runtime &RT,
   C.FrameSide = Opt.FrameSide;
   C.FrameChannels = 1;
   C.Seed = Opt.Seed + (Opt.Variant == RlVariant::Raw ? 1000 : 0);
-  Model *M = RT.config(C);
+  Model *M = S.config(C);
   if (!M->isBuilt())
     static_cast<RlModel *>(M)->setQConfig(Opt.QCfg);
   return M;
 }
 
-RlTrainResult au::apps::trainRl(GameEnv &Env, Runtime &RT,
+RlTrainResult au::apps::trainRl(GameEnv &Env, Session &S,
                                 const RlTrainOptions &Opt) {
-  assert(RT.mode() == Mode::TR && "training requires TR mode");
+  assert(S.mode() == Mode::TR && "training requires TR mode");
   RlTrainResult Res;
   Res.ModelName = rlModelName(Env, Opt.Variant);
-  Model *M = configureModel(Env, RT, Opt);
-  RlHandles H = makeHandles(Env, RT, Opt);
+  Model *M = configureModel(Env, S, Opt);
+  RlHandles H = makeHandles(Env, S, Opt);
 
-  RT.checkpoints().registerObject(&Env);
+  S.checkpoints().registerObject(&Env);
   Env.reset(makeSeed(Opt.Seed, 0));
   {
     Timer T;
-    RT.checkpoint();
+    S.checkpoint();
     Res.CheckpointSeconds = T.seconds();
   }
 
-  size_t TraceStart = RT.stats().traceBytes();
+  size_t TraceStart = S.stats().traceBytes();
   double RestoreTotal = 0.0;
   long Restores = 0;
 
@@ -181,10 +210,10 @@ RlTrainResult au::apps::trainRl(GameEnv &Env, Runtime &RT,
   int EpisodeSteps = 0;
 
   while (Res.StepsRun < Opt.TrainSteps) {
-    NameId ExtId = extractState(Env, RT, Opt, H);
-    RT.nn(H.Model, ExtId, Reward, Term, H.Output);
+    NameId ExtId = extractState(Env, S, Opt, H);
+    S.nn(H.Model, ExtId, Reward, Term, H.Output);
     int Action = 0;
-    RT.writeBack(H.Output.Name, Env.numActions(), &Action);
+    S.writeBack(H.Output.Name, Env.numActions(), &Action);
 
     if (Term) {
       ++Res.Episodes;
@@ -195,10 +224,10 @@ RlTrainResult au::apps::trainRl(GameEnv &Env, Runtime &RT,
         // Periodically start from a fresh jittered episode (and re-arm the
         // checkpoint) so learning sees level variation.
         Env.reset(makeSeed(Opt.Seed, Res.Episodes));
-        RT.checkpoint();
+        S.checkpoint();
       } else {
         Timer T;
-        RT.restore();
+        S.restore();
         RestoreTotal += T.seconds();
         ++Restores;
       }
@@ -212,13 +241,13 @@ RlTrainResult au::apps::trainRl(GameEnv &Env, Runtime &RT,
       Term = true; // Truncate over-long episodes.
 
     if (Opt.EvalEvery > 0 && Res.StepsRun % Opt.EvalEvery == 0) {
-      RlEvalResult E = evalRl(Env, RT, Opt, Opt.EvalEpisodes);
+      RlEvalResult E = evalRl(Env, S, Opt, Opt.EvalEpisodes);
       Res.Curve.push_back({Res.StepsRun, E.MeanProgress, E.SuccessRate});
     }
   }
 
   Res.TrainSeconds = TrainTimer.seconds();
-  Res.TraceBytes = RT.stats().traceBytes() - TraceStart;
+  Res.TraceBytes = S.stats().traceBytes() - TraceStart;
   Res.ModelBytes = M->modelSizeBytes();
   Res.NumParams = M->numParams();
   if (Restores > 0)
@@ -226,39 +255,42 @@ RlTrainResult au::apps::trainRl(GameEnv &Env, Runtime &RT,
   return Res;
 }
 
+RlTrainResult au::apps::trainRl(GameEnv &Env, Runtime &RT,
+                                const RlTrainOptions &Opt) {
+  return trainRl(Env, RT.session(), Opt);
+}
+
 RlTrainResult au::apps::trainRlParallel(const GameEnvFactory &Factory,
-                                        Runtime &RT,
+                                        Engine &Eng, Session &Main,
                                         const RlTrainOptions &Opt,
                                         int NumActors) {
-  assert(RT.mode() == Mode::TR && "training requires TR mode");
+  assert(Main.mode() == Mode::TR && "training requires TR mode");
   assert(NumActors > 0 && "need at least one actor");
   const int K = NumActors;
   VectorEnv VE(Factory, K, Opt.Seed);
 
   RlTrainResult Res;
   Res.ModelName = rlModelName(VE.env(0), Opt.Variant);
-  Model *M = configureModel(VE.env(0), RT, Opt);
+  Model *M = configureModel(VE.env(0), Main, Opt);
   static_cast<RlModel *>(M)->configureActors(K);
-  RlHandles H = makeHandles(VE.env(0), RT, Opt);
+  RlHandles H = makeHandles(VE.env(0), Main, Opt);
 
-  // Actor contexts come after every name is interned, so the per-actor
-  // stores mirror the main name table. Evaluation lanes reuse them.
-  int NumCtx = K;
-  if (Opt.EvalEvery > 0)
-    NumCtx = std::max(NumCtx, Opt.EvalEpisodes);
-  RT.setActorContexts(NumCtx);
+  // The lane sessions come after every name is interned, so each lane store
+  // mirrors the full master table from birth.
+  SessionPool Pool(Eng, Main.mode(), K);
 
   // Actor k opens the fleet on episode jitter k; later episodes draw fresh
   // jitters from one global counter, assigned serially in actor order so
   // the seed sequence is thread-count independent. (Unlike trainRl there is
   // no checkpoint/restore rollback — K actors restarting from one shared
   // snapshot would collapse the fleet's level diversity; see DESIGN.md §8.)
-  VE.resetAll([&](int A) { return makeSeed(Opt.Seed, static_cast<uint64_t>(A)); });
+  VE.resetAll(
+      [&](int A) { return makeSeed(Opt.Seed, static_cast<uint64_t>(A)); });
   uint64_t NextJitter = static_cast<uint64_t>(K);
   if (Opt.Variant == RlVariant::All)
     resolveFeatureIdx(VE.env(0), Opt, H);
 
-  size_t TraceStart = RT.stats().traceBytes();
+  size_t TraceStart = Main.stats().traceBytes();
   Timer TrainTimer;
 
   std::vector<NameId> ExtIds(static_cast<size_t>(K), InvalidNameId);
@@ -268,37 +300,37 @@ RlTrainResult au::apps::trainRlParallel(const GameEnvFactory &Factory,
   std::vector<uint8_t> NewTerms(static_cast<size_t>(K), 0);
   std::vector<uint8_t> Stepping(static_cast<size_t>(K), 0);
   std::vector<int> EpSteps(static_cast<size_t>(K), 0);
-  ThreadPool &Pool = ThreadPool::global();
+  ThreadPool &TPool = ThreadPool::global();
   long PrevSteps = 0;
 
   while (Res.StepsRun < Opt.TrainSteps) {
-    // 1. Extract + serialize every actor's state into its own store
-    // (disjoint contexts; parallel).
-    Pool.parallelFor(0, static_cast<size_t>(K), 1, [&](size_t B, size_t E) {
+    // 1. Extract + serialize every actor's state into its own lane session
+    // (disjoint stores; parallel).
+    TPool.parallelFor(0, static_cast<size_t>(K), 1, [&](size_t B, size_t E) {
       for (size_t A = B; A != E; ++A)
-        ExtIds[A] = extractStateActor(VE.env(static_cast<int>(A)), RT,
-                                      static_cast<int>(A), Opt, H);
+        ExtIds[A] = extractStateLane(VE.env(static_cast<int>(A)),
+                                     Pool.lane(static_cast<int>(A)), Opt, H);
     });
 
     // 2. One fused au_NN for the whole fleet: observe the completed
     // transitions, advance the training schedule, select K actions with a
     // single batched forward.
-    RT.nnRlActors(H.Model, ExtIds.data(), Rewards.data(), Terms.data(), K,
-                  H.Output);
+    Eng.nnRlSessions(H.Model, Pool.Ptrs.data(), ExtIds.data(), Rewards.data(),
+                     Terms.data(), K, H.Output, /*Learning=*/true);
 
     // 3. Write back and step every live actor (disjoint envs; parallel).
     // Actors whose episode just ended skip the step — their au_NN above
     // carried the terminal signal, mirroring trainRl's `continue`.
     for (int A = 0; A < K; ++A)
       Stepping[static_cast<size_t>(A)] = Terms[static_cast<size_t>(A)] ? 0 : 1;
-    Pool.parallelFor(0, static_cast<size_t>(K), 1, [&](size_t B, size_t E) {
+    TPool.parallelFor(0, static_cast<size_t>(K), 1, [&](size_t B, size_t E) {
       for (size_t A = B; A != E; ++A) {
         if (!Stepping[A])
           continue;
         GameEnv &Env = VE.env(static_cast<int>(A));
         int Action = 0;
-        RT.writeBack(static_cast<int>(A), H.Output.Name, Env.numActions(),
-                     &Action);
+        Pool.lane(static_cast<int>(A))
+            .writeBack(H.Output.Name, Env.numActions(), &Action);
         StepRewards[A] = Env.step(Action);
         NewTerms[A] = Env.terminal() ? 1 : 0;
       }
@@ -326,31 +358,41 @@ RlTrainResult au::apps::trainRlParallel(const GameEnvFactory &Factory,
     // tick advances up to K steps at once).
     if (Opt.EvalEvery > 0 &&
         Res.StepsRun / Opt.EvalEvery > PrevSteps / Opt.EvalEvery) {
-      RlEvalResult E = evalRlBatched(Factory, RT, Opt, Opt.EvalEpisodes);
+      RlEvalResult E = evalRlBatched(Factory, Eng, Main, Opt,
+                                     Opt.EvalEpisodes);
       Res.Curve.push_back({Res.StepsRun, E.MeanProgress, E.SuccessRate});
     }
     PrevSteps = Res.StepsRun;
   }
 
   Res.TrainSeconds = TrainTimer.seconds();
-  RT.mergeActorStats();
-  Res.TraceBytes = RT.stats().traceBytes() - TraceStart;
+  Pool.foldInto(Main);
+  Res.TraceBytes = Main.stats().traceBytes() - TraceStart;
   Res.ModelBytes = M->modelSizeBytes();
   Res.NumParams = M->numParams();
   return Res;
 }
 
+RlTrainResult au::apps::trainRlParallel(const GameEnvFactory &Factory,
+                                        Runtime &RT,
+                                        const RlTrainOptions &Opt,
+                                        int NumActors) {
+  return trainRlParallel(Factory, RT.engine(), RT.session(), Opt, NumActors);
+}
+
 RlEvalResult au::apps::evalRlBatched(const GameEnvFactory &Factory,
-                                     Runtime &RT, const RlTrainOptions &Opt,
+                                     Engine &Eng, Session &Main,
+                                     const RlTrainOptions &Opt,
                                      int Episodes) {
   assert(Episodes > 0 && "evaluation needs at least one episode");
   VectorEnv VE(Factory, Episodes, Opt.Seed ^ 0xe7a1u);
-  RlHandles H = makeHandles(VE.env(0), RT, Opt);
-  assert(RT.getModel(H.Model) && "evaluating an unconfigured model");
-  RT.setActorContexts(Episodes);
+  RlHandles H = makeHandles(VE.env(0), Main, Opt);
+  assert(Main.getModel(H.Model) && "evaluating an unconfigured model");
 
-  Mode PrevMode = RT.mode();
-  RT.switchMode(Mode::TS);
+  // One deployment-mode lane session per episode; learning is off at the
+  // engine batcher, so training chains are never disturbed regardless of
+  // Main's mode.
+  SessionPool Pool(Eng, Mode::TS, Episodes);
 
   // Same per-episode seeds as the serial evalRl.
   VE.resetAll([&](int Ep) {
@@ -360,12 +402,12 @@ RlEvalResult au::apps::evalRlBatched(const GameEnvFactory &Factory,
     resolveFeatureIdx(VE.env(0), Opt, H);
 
   RlEvalResult Res;
-  ThreadPool &Pool = ThreadPool::global();
+  ThreadPool &TPool = ThreadPool::global();
   Timer T;
   long Steps = 0;
 
-  // Live lanes run in lockstep; lane i of a tick uses actor context i, so
-  // the context mapping is a pure function of which episodes are still
+  // Live lanes run in lockstep; lane i of a tick uses lane session i, so
+  // the session mapping is a pure function of which episodes are still
   // running. Finished lanes retire in fixed episode order.
   std::vector<int> Live;
   std::vector<int> EpSteps(static_cast<size_t>(Episodes), 0);
@@ -384,21 +426,22 @@ RlEvalResult au::apps::evalRlBatched(const GameEnvFactory &Factory,
   while (!Live.empty()) {
     int M = static_cast<int>(Live.size());
     ExtIds.assign(static_cast<size_t>(M), InvalidNameId);
-    Pool.parallelFor(0, static_cast<size_t>(M), 1, [&](size_t B, size_t E) {
+    TPool.parallelFor(0, static_cast<size_t>(M), 1, [&](size_t B, size_t E) {
       for (size_t I = B; I != E; ++I)
-        ExtIds[I] = extractStateActor(VE.env(Live[I]), RT,
-                                      static_cast<int>(I), Opt, H);
+        ExtIds[I] = extractStateLane(VE.env(Live[I]),
+                                     Pool.lane(static_cast<int>(I)), Opt, H);
     });
     ZeroRewards.assign(static_cast<size_t>(M), 0.0f);
     NoTerms.assign(static_cast<size_t>(M), 0);
-    RT.nnRlActors(H.Model, ExtIds.data(), ZeroRewards.data(), NoTerms.data(),
-                  M, H.Output);
-    Pool.parallelFor(0, static_cast<size_t>(M), 1, [&](size_t B, size_t E) {
+    Eng.nnRlSessions(H.Model, Pool.Ptrs.data(), ExtIds.data(),
+                     ZeroRewards.data(), NoTerms.data(), M, H.Output,
+                     /*Learning=*/false);
+    TPool.parallelFor(0, static_cast<size_t>(M), 1, [&](size_t B, size_t E) {
       for (size_t I = B; I != E; ++I) {
         GameEnv &Env = VE.env(Live[I]);
         int Action = 0;
-        RT.writeBack(static_cast<int>(I), H.Output.Name, Env.numActions(),
-                     &Action);
+        Pool.lane(static_cast<int>(I))
+            .writeBack(H.Output.Name, Env.numActions(), &Action);
         Env.step(Action);
       }
     });
@@ -422,24 +465,30 @@ RlEvalResult au::apps::evalRlBatched(const GameEnvFactory &Factory,
 
   Res.MeanProgress /= Episodes;
   Res.SuccessRate /= Episodes;
-  Res.MeanStepSeconds = Steps > 0 ? T.seconds() / static_cast<double>(Steps) : 0;
-  RT.mergeActorStats();
-  RT.switchMode(PrevMode);
+  Res.MeanStepSeconds =
+      Steps > 0 ? T.seconds() / static_cast<double>(Steps) : 0;
+  Pool.foldInto(Main);
   return Res;
 }
 
-RlEvalResult au::apps::evalRl(GameEnv &Env, Runtime &RT,
+RlEvalResult au::apps::evalRlBatched(const GameEnvFactory &Factory,
+                                     Runtime &RT, const RlTrainOptions &Opt,
+                                     int Episodes) {
+  return evalRlBatched(Factory, RT.engine(), RT.session(), Opt, Episodes);
+}
+
+RlEvalResult au::apps::evalRl(GameEnv &Env, Session &S,
                               const RlTrainOptions &Opt, int Episodes) {
   assert(Episodes > 0 && "evaluation needs at least one episode");
-  RlHandles H = makeHandles(Env, RT, Opt);
-  assert(RT.getModel(H.Model) && "evaluating an unconfigured model");
+  RlHandles H = makeHandles(Env, S, Opt);
+  assert(S.getModel(H.Model) && "evaluating an unconfigured model");
 
   // Evaluation must not disturb training: stash the env state and switch
-  // the runtime to deployment mode for the duration.
+  // the session to deployment mode for the duration.
   std::vector<uint8_t> Saved;
   Env.saveState(Saved);
-  Mode PrevMode = RT.mode();
-  RT.switchMode(Mode::TS);
+  Mode PrevMode = S.mode();
+  S.switchMode(Mode::TS);
 
   RlEvalResult Res;
   double StepTime = 0.0;
@@ -449,10 +498,10 @@ RlEvalResult au::apps::evalRl(GameEnv &Env, Runtime &RT,
     int EpSteps = 0;
     while (!Env.terminal() && EpSteps < Opt.MaxEpisodeSteps) {
       Timer T;
-      NameId ExtId = extractState(Env, RT, Opt, H);
-      RT.nn(H.Model, ExtId, 0.0f, false, H.Output);
+      NameId ExtId = extractState(Env, S, Opt, H);
+      S.nn(H.Model, ExtId, 0.0f, false, H.Output);
       int Action = 0;
-      RT.writeBack(H.Output.Name, Env.numActions(), &Action);
+      S.writeBack(H.Output.Name, Env.numActions(), &Action);
       Env.step(Action);
       StepTime += T.seconds();
       ++Steps;
@@ -465,9 +514,14 @@ RlEvalResult au::apps::evalRl(GameEnv &Env, Runtime &RT,
   Res.SuccessRate /= Episodes;
   Res.MeanStepSeconds = Steps > 0 ? StepTime / static_cast<double>(Steps) : 0;
 
-  RT.switchMode(PrevMode);
+  S.switchMode(PrevMode);
   Env.loadState(Saved);
   return Res;
+}
+
+RlEvalResult au::apps::evalRl(GameEnv &Env, Runtime &RT,
+                              const RlTrainOptions &Opt, int Episodes) {
+  return evalRl(Env, RT.session(), Opt, Episodes);
 }
 
 /// Shared scripted-policy evaluation loop.

@@ -26,6 +26,7 @@
 #include "analysis/FeatureExtraction.h"
 #include "apps/common/GameEnv.h"
 #include "apps/common/VectorEnv.h"
+#include "core/Engine.h"
 #include "core/Runtime.h"
 #include "nn/QLearner.h"
 
@@ -104,16 +105,22 @@ selectRlFeatures(GameEnv &Env, double Epsilon1 = 1e-6,
                  double Epsilon2 = 1e-4, int ProfileSteps = 200,
                  analysis::RlExtractionStats *Stats = nullptr);
 
-/// Trains an agent on \p Env through the primitives of \p RT. The runtime
-/// must be in TR mode.
+/// Trains an agent on \p Env through the primitives of \p S (the native
+/// Engine/Session API; DESIGN.md §10). The session must be in TR mode.
+RlTrainResult trainRl(GameEnv &Env, Session &S, const RlTrainOptions &Opt);
+
+/// Facade adapter: drives \p RT's main session.
 RlTrainResult trainRl(GameEnv &Env, Runtime &RT, const RlTrainOptions &Opt);
 
 /// Parallel-rollout training (DESIGN.md §8): \p NumActors environments from
-/// \p Factory run in lockstep ticks. Per tick, feature extraction and env
-/// stepping parallelize across actors on the global ThreadPool, the K
-/// au_NN calls fuse into one batched model step (nnRlActors), transitions
-/// land in per-actor replay shards, and the training schedule advances once
-/// per tick. Results are bitwise identical at any AU_NN_THREADS setting.
+/// \p Factory run in lockstep ticks. Each actor is its own Session over
+/// \p Eng; per tick, feature extraction and env stepping parallelize across
+/// actor sessions on the global ThreadPool, the K au_NN calls fuse into one
+/// batched model step (Engine::nnRlSessions), transitions land in per-actor
+/// replay shards, and the training schedule advances once per tick. The
+/// actors' primitive counters fold into \p Main's stats, whose traceBytes()
+/// delta becomes the result's TraceBytes. Results are bitwise identical at
+/// any AU_NN_THREADS setting.
 ///
 /// Two deliberate departures from trainRl's schedule (documented in
 /// DESIGN.md §8): episodes restart with fresh jittered seeds instead of
@@ -121,20 +128,35 @@ RlTrainResult trainRl(GameEnv &Env, Runtime &RT, const RlTrainOptions &Opt);
 /// Opt.QCfg.TrainInterval = NumActors so one minibatch runs per tick — the
 /// standard vectorized-DQN schedule (same 1-trainStep-per-interval cadence
 /// as the serial TrainInterval=1 loop, K env steps per tick).
+RlTrainResult trainRlParallel(const GameEnvFactory &Factory, Engine &Eng,
+                              Session &Main, const RlTrainOptions &Opt,
+                              int NumActors);
+
+/// Facade adapter: drives \p RT's engine and main session.
 RlTrainResult trainRlParallel(const GameEnvFactory &Factory, Runtime &RT,
                               const RlTrainOptions &Opt, int NumActors);
 
 /// Greedy evaluation over \p Episodes jittered episodes. Leaves the
-/// runtime's mode as it found it. Works on the in-memory trained model.
+/// session's mode as it found it. Works on the in-memory trained model.
+RlEvalResult evalRl(GameEnv &Env, Session &S, const RlTrainOptions &Opt,
+                    int Episodes);
+
+/// Facade adapter: drives \p RT's main session.
 RlEvalResult evalRl(GameEnv &Env, Runtime &RT, const RlTrainOptions &Opt,
                     int Episodes);
 
 /// Greedy evaluation with the episodes run concurrently: each episode is
-/// one actor lane, action selection for all live lanes fuses into one
-/// batched inference per tick, and env stepping parallelizes across lanes.
-/// Uses the same per-episode seeds as evalRl; with one episode the two
-/// produce identical scores (a single-row batch is the serial TS path).
-/// Leaves the runtime's mode as it found it.
+/// one Session lane over \p Eng, action selection for all live lanes fuses
+/// into one batched inference per tick (Engine::nnRlSessions with learning
+/// off), and env stepping parallelizes across lanes. Uses the same
+/// per-episode seeds as evalRl; with one episode the two produce identical
+/// scores (a single-row batch is the serial TS path). Lane stats fold into
+/// \p Main; \p Main's mode is never touched.
+RlEvalResult evalRlBatched(const GameEnvFactory &Factory, Engine &Eng,
+                           Session &Main, const RlTrainOptions &Opt,
+                           int Episodes);
+
+/// Facade adapter: drives \p RT's engine and main session.
 RlEvalResult evalRlBatched(const GameEnvFactory &Factory, Runtime &RT,
                            const RlTrainOptions &Opt, int Episodes);
 

@@ -9,6 +9,8 @@ using namespace au;
 
 static const std::vector<float> EmptyList;
 
+DatabaseStore::InternAuthority::~InternAuthority() = default;
+
 void SerializedView::copyTo(float *Dst) const {
   for (const Span &S : Spans) {
     std::memcpy(Dst, S.Data, S.Len * sizeof(float));
@@ -128,12 +130,36 @@ NameId DatabaseStore::combinedIdFor(const std::vector<NameId> &Ids) {
     std::string Name;
     for (NameId Id : Ids)
       Name += Names.name(Id);
-    Combined = intern(Name);
+    // With an authority installed (Session-owned stores), the combined
+    // name interns through the engine's master table — resolveName replays
+    // it into this store before returning, so the id indexes Slots here
+    // exactly as a local intern would.
+    Combined = Authority ? Authority->resolveName(Name) : intern(Name);
+    assert(Combined < Slots.size() &&
+           "intern authority returned an id unknown to this store");
     CombinedIds.emplace(Ids, Combined);
   }
   LastSerializeIds = Ids;
   LastSerializeCombined = Combined;
   return Combined;
+}
+
+void DatabaseStore::append(NameId Id, std::vector<float> &&Values) {
+  Slot &S = slot(Id);
+  size_t N = Values.size();
+  if (!S.Mapped) {
+    // Adopt the buffer wholesale: the common model-output path hands over
+    // a freshly built vector, so this kills the per-step copy.
+    S.Data = std::move(Values);
+    S.Srcs.clear();
+    S.Lazy = false;
+    S.Mapped = true;
+    ++S.WriteGen;
+    touch(S);
+    Appended += N;
+    return;
+  }
+  append(Id, Values.data(), N);
 }
 
 //===----------------------------------------------------------------------===//
@@ -147,22 +173,7 @@ void DatabaseStore::append(const std::string &Name,
 
 void DatabaseStore::append(const std::string &Name,
                            std::vector<float> &&Values) {
-  NameId Id = intern(Name);
-  Slot &S = slot(Id);
-  size_t N = Values.size();
-  if (!S.Mapped) {
-    // Adopt the buffer wholesale: the common Runtime::nn output path hands
-    // over a freshly built vector, so this kills the per-step copy.
-    S.Data = std::move(Values);
-    S.Srcs.clear();
-    S.Lazy = false;
-    S.Mapped = true;
-    ++S.WriteGen;
-    touch(S);
-    Appended += N;
-    return;
-  }
-  append(Id, Values.data(), N);
+  append(intern(Name), std::move(Values));
 }
 
 void DatabaseStore::append(const std::string &Name, float Value) {
@@ -191,20 +202,12 @@ bool DatabaseStore::contains(const std::string &Name) const {
 
 std::string DatabaseStore::serialize(const std::vector<std::string> &Names_) {
   assert(!Names_.empty() && "serialize of no lists");
-  std::vector<NameId> Ids;
-  Ids.reserve(Names_.size());
-  for (const std::string &N : Names_)
-    Ids.push_back(intern(N));
-  return nameOf(serialize(Ids));
+  return nameOf(serialize(internRange(Names_)));
 }
 
 std::string DatabaseStore::serialize(std::initializer_list<const char *> Ns) {
   assert(Ns.size() > 0 && "serialize of no lists");
-  std::vector<NameId> Ids;
-  Ids.reserve(Ns.size());
-  for (const char *N : Ns)
-    Ids.push_back(intern(N));
-  return nameOf(serialize(Ids));
+  return nameOf(serialize(internRange(Ns)));
 }
 
 //===----------------------------------------------------------------------===//

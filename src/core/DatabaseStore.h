@@ -71,13 +71,32 @@ private:
 /// per-slot dirty tracking instead, see Checkpoint.h).
 class DatabaseStore {
 public:
+  /// Delegates interning of names the store creates *itself* (today only
+  /// the combined names of serialize()) to an external owner. A Session
+  /// installs itself here so combined names intern through the engine's
+  /// master table and the store stays a positional mirror of it
+  /// (DESIGN.md §10); a standalone store interns locally as before. The
+  /// authority must return an id that is valid in this store by the time
+  /// it returns (the session's name replay guarantees that).
+  class InternAuthority {
+  public:
+    virtual ~InternAuthority();
+    virtual NameId resolveName(std::string_view Name) = 0;
+  };
+
   //===--------------------------------------------------------------------===//
   // Name interning
   //===--------------------------------------------------------------------===//
 
   /// Interns \p Name (idempotent) and returns its dense handle. The handle
-  /// APIs below are the hot path; intern once, outside the loop.
+  /// APIs below are the hot path; intern once, outside the loop. Note:
+  /// interning directly into a Session-owned store bypasses the engine's
+  /// master table and the session will detect the divergence — go through
+  /// Session::intern instead.
   NameId intern(std::string_view Name);
+
+  /// Installs (or clears, with null) the interning authority.
+  void setInternAuthority(InternAuthority *A) { Authority = A; }
 
   const NameTable &names() const { return Names; }
 
@@ -91,6 +110,10 @@ public:
   /// Appends \p N values to the list under \p Id (Rule EXTRACT's concat).
   void append(NameId Id, const float *Values, size_t N);
   void append(NameId Id, float Value);
+  /// Rvalue overload: adopts \p Values wholesale when the slot is bottom
+  /// (the common model-output path hands over a freshly built vector, so
+  /// this kills the copy); appends otherwise.
+  void append(NameId Id, std::vector<float> &&Values);
 
   /// The list under \p Id; empty when unmapped (bottom). Materializes a
   /// lazily serialized entry on first read.
@@ -220,8 +243,18 @@ private:
   void appendSlow(Slot &S, const float *Values, size_t N);
 
   /// Cold half of serialize(): combined-name interning on an id-vector
-  /// cache miss.
+  /// cache miss (routed through the InternAuthority when one is set).
   NameId combinedIdFor(const std::vector<NameId> &Ids);
+
+  /// Interns a range of string-ish names; shared by the string-keyed
+  /// serialize shims.
+  template <typename Range> std::vector<NameId> internRange(const Range &R) {
+    std::vector<NameId> Ids;
+    Ids.reserve(R.size());
+    for (const auto &N : R)
+      Ids.push_back(intern(N));
+    return Ids;
+  }
 
   /// Stamps a logical mutation. Lazy: once a slot is dirty relative to the
   /// latest snapshot (Gen > SnapStamp), further mutations change nothing a
@@ -245,6 +278,7 @@ private:
 
   NameTable Names;
   std::vector<Slot> Slots;
+  InternAuthority *Authority = nullptr;
   std::unordered_map<std::vector<NameId>, NameId, IdVecHash> CombinedIds;
   /// One-entry MRU over CombinedIds: the annotated loop serializes the same
   /// id-vector every iteration, so a short equality check beats re-hashing.

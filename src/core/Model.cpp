@@ -12,6 +12,20 @@ using namespace au;
 
 Model::~Model() = default;
 
+bool ParamSnapshot::installInto(nn::Network &Net) const {
+  std::vector<nn::ParamView> Ps = Net.params();
+  if (Ps.size() != Params.size())
+    return false;
+  for (size_t I = 0; I != Ps.size(); ++I) {
+    if (Params[I].size() != Ps[I].Count)
+      return false;
+    std::memcpy(Ps[I].Values, Params[I].data(), Ps[I].Count * sizeof(float));
+  }
+  // θ changed behind the layers' backs: invalidate packed-weight caches.
+  Net.bumpParamGeneration();
+  return true;
+}
+
 nn::Network Model::makeNetwork(int InputSize, int OutSize, Rng &Rand) const {
   if (Cfg.CustomNetwork)
     return Cfg.CustomNetwork(InputSize, OutSize, Rand);
@@ -211,6 +225,32 @@ void SlModel::predictRows(const float *Xs, int Rows, std::vector<float> &Out) {
 
 size_t SlModel::numSamples() const {
   return Trainer ? Trainer->numSamples() : 0;
+}
+
+bool SlModel::captureParams(ParamSnapshot &S) {
+  if (!Built || !Trainer)
+    return false;
+  S.InSize = InSize;
+  S.OutSize = totalOutputSize();
+  S.Params.clear();
+  for (const nn::ParamView &P : Trainer->network().params())
+    S.Params.emplace_back(P.Values, P.Values + P.Count);
+  Trainer->getNormalization(S.XMean, S.XStd, S.YMean, S.YStd);
+  return true;
+}
+
+std::unique_ptr<nn::SupervisedTrainer>
+SlModel::makeReplica(const ParamSnapshot &S) const {
+  // A private Rng: the initialization is immediately overwritten by the
+  // snapshot, and the live model's Rand must not advance.
+  Rng R(Cfg.Seed);
+  double Lr = Cfg.LearningRate > 0 ? Cfg.LearningRate : 1e-3;
+  auto T = std::make_unique<nn::SupervisedTrainer>(
+      makeNetwork(S.InSize, S.OutSize, R), Lr);
+  if (!S.installInto(T->network()))
+    return nullptr;
+  T->setNormalization(S.XMean, S.XStd, S.YMean, S.YStd);
+  return T;
 }
 
 size_t SlModel::modelSizeBytes() {

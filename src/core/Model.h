@@ -39,6 +39,29 @@ struct WriteBackSpec {
   int Size = 1;
 };
 
+namespace nn {
+class Network;
+}
+
+/// An immutable copy of a model's trainable parameters and normalization
+/// statistics, published by the Engine so concurrent TS-mode readers serve
+/// inference from a consistent version while the live model keeps training
+/// (DESIGN.md §10). Snapshots are never mutated after publication; readers
+/// hold them via shared_ptr<const ParamSnapshot>.
+struct ParamSnapshot {
+  uint64_t Version = 0; ///< Monotone publication counter (1 = first).
+  int InSize = 0;
+  int OutSize = 0;
+  /// One vector per ParamView of the source network, in params() order.
+  std::vector<std::vector<float>> Params;
+  std::vector<float> XMean, XStd, YMean, YStd;
+
+  /// Copies the captured parameters into \p Net (which must have the same
+  /// architecture) and invalidates its packed-weight caches. Returns false
+  /// on a shape mismatch.
+  bool installInto(nn::Network &Net) const;
+};
+
 /// Base class for model-store entries.
 class Model {
 public:
@@ -66,6 +89,14 @@ public:
 
   /// Loads a model persisted by save(); returns false on failure.
   virtual bool load(const std::string &Path) = 0;
+
+  /// Captures the current parameters into \p S for snapshot publication.
+  /// Returns false when the model kind does not support snapshot serving
+  /// (RL models serve through the live learner) or the model is unbuilt.
+  virtual bool captureParams(ParamSnapshot &S) {
+    (void)S;
+    return false;
+  }
 
 protected:
   Model(KindTy K, ModelConfig C) : Kind(K), Cfg(std::move(C)) {}
@@ -115,6 +146,18 @@ public:
   size_t numParams() override;
   bool save(const std::string &Path) override;
   bool load(const std::string &Path) override;
+
+  /// Copies the trained parameters and normalization into \p S. Must be
+  /// called from the thread that owns the live model (the trainer).
+  bool captureParams(ParamSnapshot &S) override;
+
+  /// Builds an independent inference-only trainer from a published
+  /// snapshot: same architecture, snapshot parameters, snapshot
+  /// normalization. Touches none of the live training state, so replicas
+  /// can be created while the live model trains. Returns null on an
+  /// architecture/snapshot mismatch.
+  std::unique_ptr<nn::SupervisedTrainer>
+  makeReplica(const ParamSnapshot &S) const;
 
 private:
   int totalOutputSize() const;

@@ -1,4 +1,4 @@
-//===- core/Runtime.h - The Autonomizer runtime and primitives -*- C++ -*-===//
+//===- core/Runtime.h - Single-process facade over Engine/Session -*- C++ -*-===//
 //
 // Part of the Autonomizer reproduction (PLDI '19).
 //
@@ -8,6 +8,17 @@
 /// The Autonomizer runtime: the seven primitives of Fig. 1 realized over the
 /// database store pi, the model store theta and the checkpoint manager,
 /// following the operational semantics of Fig. 8.
+///
+/// Since the Engine/Session split (DESIGN.md §10) this class is a thin
+/// compatibility facade: it owns one process-private Engine (the model store
+/// theta and the master name table) and one main Session (the execution's
+/// <sigma, pi>), and forwards every primitive to the session. The parallel
+/// actor contexts of DESIGN.md §8 are plain additional Sessions over the
+/// same Engine; the actor-keyed overloads below forward to them, and
+/// nnRlActors is a thin wrapper over Engine::nnRlSessions. Code written
+/// against the pre-split Runtime compiles and behaves unchanged; new code
+/// that wants multi-tenant serving should hold an Engine and Sessions
+/// directly (see Engine.h).
 ///
 /// A program is autonomized by adding a few calls:
 ///
@@ -33,18 +44,7 @@
 /// the names once before the loop with intern() and pass the dense NameIds
 /// instead of strings. The two forms are observationally equivalent — same
 /// pi contents, same stats — but the handle form neither hashes nor copies
-/// a string per call and gathers model inputs through zero-copy serialize
-/// spans into a reusable staging buffer:
-///
-/// \code
-///   au::NameId PX = RT.intern("PX"), PY = RT.intern("PY");
-///   au::NameId Mario = RT.intern("Mario"), Out = RT.intern("output");
-///   ...
-///   RT.extract(PX, Player.X);
-///   RT.extract(PY, Player.Y);
-///   RT.nn(Mario, RT.serialize({PX, PY}), Reward, Terminated, {Out, 5});
-///   RT.writeBack(Out, 5, &ActionKey);
-/// \endcode
+/// a string per call.
 ///
 /// In TR (training) mode the runtime piggybacks learning on the execution:
 /// supervised models record the program's own (human/autotuner-chosen)
@@ -58,341 +58,299 @@
 #ifndef AU_CORE_RUNTIME_H
 #define AU_CORE_RUNTIME_H
 
-#include "core/Checkpoint.h"
-#include "core/Config.h"
-#include "core/DatabaseStore.h"
-#include "core/Model.h"
+#include "core/Engine.h"
+#include "core/Session.h"
 
 #include <cassert>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 namespace au {
 
-/// Primitive-level counters (used by the overhead microbenchmarks and by
-/// the Table 2 trace-size accounting).
-struct RuntimeStats {
-  size_t NumConfig = 0;
-  size_t NumExtract = 0;
-  size_t FloatsExtracted = 0;
-  size_t NumSerialize = 0;
-  size_t NumNn = 0;
-  size_t NumWriteBack = 0;
-  size_t NumCheckpoint = 0;
-  size_t NumRestore = 0;
-
-  /// Trace footprint in bytes (extracted floats), Table 2's "Trace Size".
-  size_t traceBytes() const { return FloatsExtracted * sizeof(float); }
-};
-
-/// Handle-keyed counterpart of WriteBackSpec: one declared output under an
-/// interned name. For SL the number of predicted floats; for RL the number
-/// of discrete actions.
-struct WriteBackHandle {
-  NameId Name = InvalidNameId;
-  int Size = 1;
-};
-
-/// The Autonomizer runtime. One instance supports multiple model instances
-/// in one execution, as the paper requires.
+/// Compatibility facade: one Engine + one main Session + the actor-context
+/// API of DESIGN.md §8, with the exact pre-split surface. One instance
+/// supports multiple model instances in one execution, as the paper
+/// requires.
 class Runtime {
 public:
   /// \p ModelDir is where TS-mode au_config looks for saved models and
   /// where saveModel() writes them ("" = current directory).
-  explicit Runtime(Mode M, std::string ModelDir = "");
+  explicit Runtime(Mode M, std::string ModelDir = "")
+      : Eng(std::move(ModelDir)), Main(Eng, M) {}
 
-  Mode mode() const { return ExecMode; }
+  Mode mode() const { return Main.mode(); }
 
   /// Switches mode in place (e.g. evaluate a freshly trained in-memory
   /// model without a save/load round trip). The semantics fixes the mode
   /// per execution; this is a harness convenience.
-  void switchMode(Mode M) { ExecMode = M; }
+  void switchMode(Mode M) { Main.switchMode(M); }
 
-  /// Interns \p Name into the store's name table (idempotent) and returns
-  /// the dense handle accepted by every primitive overload below. Model
-  /// names and database names share one table, so the handle returned for
-  /// a configured model's name keys nn()/getModel() too. With actor
-  /// contexts active the name is interned into every actor store as well,
-  /// keeping ids valid across all of them; intern user names before the
-  /// first serialize on an actor context (serialize interns combined names
-  /// per store).
+  /// The process-wide model plane behind this facade; new code can batch
+  /// across sessions through it (Engine::nnBatchSessions).
+  Engine &engine() { return Eng; }
+
+  /// The main execution's Session; native-API entry points (RlHarness)
+  /// accept it directly.
+  Session &session() { return Main; }
+
+  /// Actor context \p A as a Session (native-API access).
+  Session &actorSession(int Actor) { return actor(Actor); }
+
+  /// Interns \p Name into the engine's master name table (idempotent) and
+  /// mirrors it into the main and every actor store, so the returned handle
+  /// is valid across all of them. Model names and database names share one
+  /// table, so the handle returned for a configured model's name keys
+  /// nn()/getModel() too. Throws StoreDivergenceError if any store was
+  /// interned into directly (db().intern) behind the runtime's back — a
+  /// real error path that fires in release builds too.
   NameId intern(std::string_view Name) {
-    NameId Id = Db.intern(Name);
-    for (auto &A : Actors) {
-      [[maybe_unused]] NameId AId = A->Db.intern(Name);
-      assert(AId == Id && "actor store name table diverged; intern user "
-                          "names before serializing on actor contexts");
-    }
+    NameId Id = Main.intern(Name);
+    for (auto &A : Actors)
+      A->S.intern(Name);
     return Id;
   }
 
   //===--------------------------------------------------------------------===//
-  // Primitives
+  // Primitives (forwarded to the main Session)
   //===--------------------------------------------------------------------===//
 
   /// au_config: Rule CONFIG-TRAIN creates the model if absent; Rule
   /// CONFIG-TEST loads it from ModelDir instead. Returns the model.
-  Model *config(const ModelConfig &C);
+  Model *config(const ModelConfig &C) { return Main.config(C); }
 
   /// au_extract: Rule EXTRACT appends Size values to pi[Name].
-  void extract(const std::string &Name, size_t Size, const float *Data);
-  void extract(const std::string &Name, size_t Size, const double *Data);
-  void extract(const std::string &Name, float Value);
+  void extract(const std::string &Name, size_t Size, const float *Data) {
+    Main.extract(Name, Size, Data);
+  }
+  void extract(const std::string &Name, size_t Size, const double *Data) {
+    Main.extract(Name, Size, Data);
+  }
+  void extract(const std::string &Name, float Value) {
+    Main.extract(Name, Value);
+  }
   void extract(const std::string &Name, double Value) {
-    extract(Name, static_cast<float>(Value));
+    Main.extract(Name, Value);
   }
   void extract(const std::string &Name, int Value) {
-    extract(Name, static_cast<float>(Value));
+    Main.extract(Name, Value);
   }
 
-  /// au_extract over handles: appends straight into the retained slot
-  /// buffer — no string hash, no temporary vector. Defined inline: this is
-  /// the most frequent primitive of the annotated loop.
+  /// au_extract over handles (the hot path; see Session::extract).
   void extract(NameId Id, size_t Size, const float *Data) {
-    assert(Data || Size == 0);
-    ++Stats.NumExtract;
-    Stats.FloatsExtracted += Size;
-    Db.append(Id, Data, Size);
+    Main.extract(Id, Size, Data);
   }
-  void extract(NameId Id, size_t Size, const double *Data);
-  void extract(NameId Id, float Value) {
-    ++Stats.NumExtract;
-    ++Stats.FloatsExtracted;
-    Db.append(Id, Value);
+  void extract(NameId Id, size_t Size, const double *Data) {
+    Main.extract(Id, Size, Data);
   }
-  void extract(NameId Id, double Value) {
-    extract(Id, static_cast<float>(Value));
-  }
-  void extract(NameId Id, int Value) { extract(Id, static_cast<float>(Value)); }
+  void extract(NameId Id, float Value) { Main.extract(Id, Value); }
+  void extract(NameId Id, double Value) { Main.extract(Id, Value); }
+  void extract(NameId Id, int Value) { Main.extract(Id, Value); }
 
   /// au_serialize: Rule SERIALIZE concatenates lists (and names); returns
   /// the combined name to pass to nn().
-  std::string serialize(const std::vector<std::string> &Names);
+  std::string serialize(const std::vector<std::string> &Names) {
+    return Main.serialize(Names);
+  }
   /// Disambiguates serialize({"A", "B"}) (see DatabaseStore::serialize).
-  std::string serialize(std::initializer_list<const char *> Names);
-
-  /// au_serialize over handles: records the concatenation as zero-copy
-  /// spans (no float moves) and returns the combined handle, cached per
-  /// id-vector after the first call. Defined inline: runs once per loop
-  /// iteration right after the extracts.
+  std::string serialize(std::initializer_list<const char *> Names) {
+    return Main.serialize(Names);
+  }
+  /// au_serialize over handles (zero-copy spans; see Session::serialize).
   NameId serialize(const std::vector<NameId> &Ids) {
-    ++Stats.NumSerialize;
-    // The constituent lists are consumed: they have been moved into the
-    // combined list. (Fig. 8's SERIALIZE leaves them mapped, but its
-    // TRAIN/TEST rules only reset the combined extName — without this
-    // refinement the model input would grow without bound across loop
-    // iterations.) The consume keeps the slot bytes, so the combined
-    // entry's zero-copy spans stay valid.
-    return Db.serialize(Ids, /*Consume=*/true);
+    return Main.serialize(Ids);
   }
 
-  /// au_NN, supervised form: consumes pi[ExtName] as the feature vector and
-  /// declares the outputs this model predicts. TR records a pending sample
-  /// completed by the write-backs; TS writes predictions into pi.
+  /// au_NN, supervised form.
   void nn(const std::string &ModelName, const std::string &ExtName,
-          const std::vector<WriteBackSpec> &Outputs);
-
-  /// au_NN, reinforcement form (the paper's au_NN(model, ext, reward, term,
-  /// wbName)): consumes pi[ExtName] as the state, feeds (reward, terminal)
-  /// to the learner (TR trains online per Rule TRAIN; TS only predicts per
-  /// Rule TEST) and stores the selected action in pi[Output.Name].
+          const std::vector<WriteBackSpec> &Outputs) {
+    Main.nn(ModelName, ExtName, Outputs);
+  }
+  /// au_NN, reinforcement form.
   void nn(const std::string &ModelName, const std::string &ExtName,
-          float Reward, bool Terminal, const WriteBackSpec &Output);
-
-  /// Handle-keyed au_NN forms. The feature/state list is gathered from the
-  /// serialize spans into a reusable staging buffer and, in TS mode, fed
-  /// through the batched forwardBatch engine (Rows = 1), so the steady
-  /// state allocates nothing per call.
+          float Reward, bool Terminal, const WriteBackSpec &Output) {
+    Main.nn(ModelName, ExtName, Reward, Terminal, Output);
+  }
+  /// Handle-keyed au_NN forms.
   void nn(NameId ModelId, NameId ExtId,
-          const std::vector<WriteBackHandle> &Outputs);
+          const std::vector<WriteBackHandle> &Outputs) {
+    Main.nn(ModelId, ExtId, Outputs);
+  }
   void nn(NameId ModelId, NameId ExtId, float Reward, bool Terminal,
-          const WriteBackHandle &Output);
-
-  /// Batched TS-mode au_NN: pi[ExtId] holds \p Rows feature vectors back to
-  /// back; one forwardBatch call predicts all of them and each declared
-  /// output receives its Rows x Size predictions concatenated row-major.
-  /// Deployment-mode only (TR samples are labeled per iteration).
+          const WriteBackHandle &Output) {
+    Main.nn(ModelId, ExtId, Reward, Terminal, Output);
+  }
+  /// Batched TS-mode au_NN (see Session::nnBatch).
   void nnBatch(NameId ModelId, NameId ExtId, int Rows,
-               const std::vector<WriteBackHandle> &Outputs);
+               const std::vector<WriteBackHandle> &Outputs) {
+    Main.nnBatch(ModelId, ExtId, Rows, Outputs);
+  }
 
   /// au_write_back: Rule WRITE-BACK copies pi[Name] into the program
   /// variable. In TR mode, supervised outputs flow the opposite way: the
   /// program's current values are recorded as the training label.
-  void writeBack(const std::string &Name, size_t Size, float *Data);
-  void writeBack(const std::string &Name, size_t Size, double *Data);
-
+  void writeBack(const std::string &Name, size_t Size, float *Data) {
+    Main.writeBack(Name, Size, Data);
+  }
+  void writeBack(const std::string &Name, size_t Size, double *Data) {
+    Main.writeBack(Name, Size, Data);
+  }
   /// RL write-back: \p NumActions documents the action count (the paper's
   /// "the value 5 means there are 5 possible actions"); the predicted
   /// action index is stored into *ActionKey.
-  void writeBack(const std::string &Name, int NumActions, int *ActionKey);
-
+  void writeBack(const std::string &Name, int NumActions, int *ActionKey) {
+    Main.writeBack(Name, NumActions, ActionKey);
+  }
   /// Handle-keyed write-backs.
-  void writeBack(NameId Id, size_t Size, float *Data);
-  void writeBack(NameId Id, size_t Size, double *Data);
-  void writeBack(NameId Id, int NumActions, int *ActionKey);
+  void writeBack(NameId Id, size_t Size, float *Data) {
+    Main.writeBack(Id, Size, Data);
+  }
+  void writeBack(NameId Id, size_t Size, double *Data) {
+    Main.writeBack(Id, Size, Data);
+  }
+  void writeBack(NameId Id, int NumActions, int *ActionKey) {
+    Main.writeBack(Id, NumActions, ActionKey);
+  }
 
   //===--------------------------------------------------------------------===//
-  // Parallel actor contexts (DESIGN.md §8)
+  // Parallel actor contexts (DESIGN.md §8) — Sessions over the same Engine
   //===--------------------------------------------------------------------===//
   //
   // K concurrent rollouts share one model store theta but need K isolated
   // database stores pi — actor k's extracts must never interleave with
-  // actor j's. setActorContexts creates per-actor stores whose name tables
-  // mirror the main one (ids agree), the actor-keyed primitives below
-  // operate on actor k's store only (distinct actors may run on distinct
-  // threads), and nnRlActors fuses the K au_NN calls of one tick into a
-  // single batched model step.
+  // actor j's. Each actor context is simply another Session bound to this
+  // facade's Engine; the actor-keyed overloads forward to it (distinct
+  // actors may run on distinct threads), and nnRlActors fuses the K au_NN
+  // calls of one tick into a single Engine::nnRlSessions step.
 
-  /// Creates per-actor database contexts 0..K-1 (grow-only; existing
-  /// contexts and their contents are kept). Each new context's name table
-  /// is seeded with every name interned so far, in order, so main-store
-  /// handles index actor stores directly.
-  void setActorContexts(int K);
+  /// Creates actor contexts 0..K-1 (grow-only; existing contexts and their
+  /// contents are kept). Each new Session mirrors the engine's master name
+  /// table at creation, so main-store handles index actor stores directly.
+  void setActorContexts(int K) {
+    assert(K > 0 && "need at least one actor context");
+    while (numActorContexts() < K)
+      Actors.push_back(std::make_unique<ActorSlot>(Eng, Main.mode()));
+  }
 
   int numActorContexts() const { return static_cast<int>(Actors.size()); }
 
   /// Actor \p Actor's database store (tests/diagnostics).
-  DatabaseStore &actorDb(int Actor) { return actor(Actor).Db; }
+  DatabaseStore &actorDb(int Actor) { return actor(Actor).db(); }
 
   /// au_extract into actor \p Actor's store. Safe to call for distinct
-  /// actors from distinct threads; stats accumulate per actor and fold into
-  /// the global counters at mergeActorStats().
+  /// actors from distinct threads; stats accumulate per actor session and
+  /// fold into the main stats at mergeActorStats().
   void extract(int Actor, NameId Id, float Value) {
-    ActorCtx &C = actor(Actor);
-    ++C.NumExtract;
-    ++C.FloatsExtracted;
-    C.Db.append(Id, Value);
+    actor(Actor).extract(Id, Value);
   }
   void extract(int Actor, NameId Id, size_t Size, const float *Data) {
-    assert(Data || Size == 0);
-    ActorCtx &C = actor(Actor);
-    ++C.NumExtract;
-    C.FloatsExtracted += Size;
-    C.Db.append(Id, Data, Size);
+    actor(Actor).extract(Id, Size, Data);
   }
 
   /// au_serialize on actor \p Actor's store. All actors issue the same
   /// serialize sequence, so the combined handles stay in lockstep across
   /// actor stores.
   NameId serialize(int Actor, const std::vector<NameId> &Ids) {
-    ActorCtx &C = actor(Actor);
-    ++C.NumSerialize;
-    return C.Db.serialize(Ids, /*Consume=*/true);
+    return actor(Actor).serialize(Ids);
   }
 
   /// RL action write-back from actor \p Actor's store.
   void writeBack(int Actor, NameId Id, int NumActions, int *ActionKey) {
-    (void)NumActions;
-    assert(ActionKey && "invalid write-back destination");
-    ActorCtx &C = actor(Actor);
-    ++C.NumWriteBack;
-    const std::vector<float> &Vals = C.Db.get(Id);
-    assert(!Vals.empty() && "no predicted action in the actor store");
-    *ActionKey = static_cast<int>(Vals.front());
+    actor(Actor).writeBack(Id, NumActions, ActionKey);
   }
 
-  /// Fused RL au_NN for K actors: gathers actor k's state pi_k[ExtIds[k]]
-  /// into row k of a K x D staging block (parallel, disjoint rows), runs
-  /// one batched model step (observe + train + select, see
-  /// RlModel::stepActors), and scatters action k into pi_k[Output.Name].
-  /// Counts as K au_NN calls in the stats.
+  /// Fused RL au_NN for K actors: a thin wrapper over
+  /// Engine::nnRlSessions with this runtime's actor sessions and mode.
+  /// Counts as K au_NN calls, one per actor session.
   void nnRlActors(NameId ModelId, const NameId *ExtIds, const float *Rewards,
                   const uint8_t *Terminals, int K,
-                  const WriteBackHandle &Output);
+                  const WriteBackHandle &Output) {
+    assert(K > 0 && K <= numActorContexts() &&
+           "nnRlActors needs a context per actor");
+    ActorPtrs.resize(static_cast<size_t>(K));
+    for (int A = 0; A != K; ++A)
+      ActorPtrs[static_cast<size_t>(A)] = &Actors[static_cast<size_t>(A)]->S;
+    Eng.nnRlSessions(ModelId, ActorPtrs.data(), ExtIds, Rewards, Terminals, K,
+                     Output, /*Learning=*/Main.mode() == Mode::TR);
+  }
 
-  /// Folds the per-actor primitive counters into stats() in actor order
-  /// (call after parallel work has quiesced, before reading the stats).
-  void mergeActorStats();
+  /// Folds the per-actor primitive counters accumulated since the previous
+  /// merge into stats(), in actor order (call after parallel work has
+  /// quiesced, before reading the stats). Idempotent: each actor keeps a
+  /// watermark of what was already merged, so calling this twice — or
+  /// interleaving merges with more actor work — never double-counts.
+  void mergeActorStats() {
+    for (auto &A : Actors) {
+      const RuntimeStats &S = A->S.stats();
+      RuntimeStats D;
+      D.NumExtract = S.NumExtract - A->Merged.NumExtract;
+      D.FloatsExtracted = S.FloatsExtracted - A->Merged.FloatsExtracted;
+      D.NumSerialize = S.NumSerialize - A->Merged.NumSerialize;
+      D.NumNn = S.NumNn - A->Merged.NumNn;
+      D.NumWriteBack = S.NumWriteBack - A->Merged.NumWriteBack;
+      Main.foldStats(D);
+      A->Merged = S;
+    }
+  }
 
   /// au_checkpoint: Rule CHECKPOINT snapshots registered program state and
   /// pi; model state theta is deliberately excluded.
-  void checkpoint();
+  void checkpoint() { Main.checkpoint(); }
 
   /// au_restore: Rule RESTORE rolls program state and pi back to the last
   /// checkpoint; models keep their accumulated learning.
-  void restore();
+  void restore() { Main.restore(); }
 
   //===--------------------------------------------------------------------===//
   // Runtime support
   //===--------------------------------------------------------------------===//
 
-  DatabaseStore &db() { return Db; }
-  CheckpointManager &checkpoints() { return Ckpt; }
-  const RuntimeStats &stats() const { return Stats; }
+  DatabaseStore &db() { return Main.db(); }
+  CheckpointManager &checkpoints() { return Main.checkpoints(); }
+  const RuntimeStats &stats() const { return Main.stats(); }
 
   /// Looks up a configured model; null when absent.
-  Model *getModel(const std::string &Name);
-  Model *getModel(NameId Id) {
-    return Id < ModelById.size() ? ModelById[Id] : nullptr;
-  }
+  Model *getModel(const std::string &Name) { return Main.getModel(Name); }
+  Model *getModel(NameId Id) { return Main.getModel(Id); }
 
   /// Offline supervised training over the samples collected in TR mode.
   /// Returns the final epoch's mean loss.
   double trainSupervised(const std::string &ModelName, int Epochs,
-                         int BatchSize);
+                         int BatchSize) {
+    return Main.trainSupervised(ModelName, Epochs, BatchSize);
+  }
 
   /// Persists one model / all models to ModelDir.
-  bool saveModel(const std::string &ModelName);
-  bool saveAllModels();
+  bool saveModel(const std::string &ModelName) {
+    return Main.saveModel(ModelName);
+  }
+  bool saveAllModels() { return Main.saveAllModels(); }
 
   /// The file path a model is saved to / loaded from.
-  std::string modelPath(const std::string &ModelName) const;
+  std::string modelPath(const std::string &ModelName) const {
+    return Main.modelPath(ModelName);
+  }
 
 private:
-  /// An SL au_NN whose labels have not all arrived yet (TR mode).
-  struct PendingSample {
-    NameId ModelId = InvalidNameId;
-    std::vector<float> X;
-    std::vector<WriteBackHandle> Outputs;
-    /// (output id, label values); small, searched linearly.
-    std::vector<std::pair<NameId, std::vector<float>>> Labels;
+  /// One actor context: its Session plus the stats watermark already folded
+  /// into the main session (mergeActorStats idempotence).
+  struct ActorSlot {
+    Session S;
+    RuntimeStats Merged;
+    ActorSlot(Engine &E, Mode M) : S(E, M) {}
   };
 
-  /// One actor's isolated slice of the runtime: its own database store pi
-  /// plus per-actor primitive counters (so actor threads never contend on
-  /// the global RuntimeStats).
-  struct ActorCtx {
-    DatabaseStore Db;
-    size_t NumExtract = 0;
-    size_t FloatsExtracted = 0;
-    size_t NumSerialize = 0;
-    size_t NumWriteBack = 0;
-  };
-
-  ActorCtx &actor(int Actor) {
+  Session &actor(int Actor) {
     assert(Actor >= 0 && Actor < numActorContexts() &&
            "actor context out of range");
-    return *Actors[static_cast<size_t>(Actor)];
+    return Actors[static_cast<size_t>(Actor)]->S;
   }
 
-  void completePendingIfReady(PendingSample &P);
-  void setWbOwner(NameId Out, NameId ModelId);
-  NameId wbOwner(NameId Out) const {
-    return Out < WbOwner.size() ? WbOwner[Out] : InvalidNameId;
-  }
-
-  Mode ExecMode;
-  std::string ModelDir;
-  DatabaseStore Db;
-  CheckpointManager Ckpt;
-  std::map<std::string, std::unique_ptr<Model>> Models; // theta
-  std::vector<Model *> ModelById;  ///< NameId -> model (theta over handles).
-  std::vector<NameId> WbOwner;     ///< Output id -> owning model id.
-  std::vector<PendingSample> Pending;
-  std::vector<std::unique_ptr<ActorCtx>> Actors;
-  RuntimeStats Stats;
-
-  // Reusable hot-path staging (DESIGN.md §7): model inputs gathered from
-  // serialize spans, batched predictions, per-output scatter, and numeric
-  // conversions. Capacity warms up once; the loop allocates nothing.
-  std::vector<float> NnStaging;
-  std::vector<float> NnOut;
-  std::vector<float> ScatterBuf;
-  std::vector<float> ConvStaging;
-  std::vector<int> ActionsScratch;
+  Engine Eng;   ///< Must precede Main (Session binds to it).
+  Session Main;
+  std::vector<std::unique_ptr<ActorSlot>> Actors;
+  std::vector<Session *> ActorPtrs; ///< Reused nnRlActors argument staging.
 };
 
 } // namespace au

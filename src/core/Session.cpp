@@ -1,59 +1,61 @@
-//===- core/Runtime.cpp - The Autonomizer runtime and primitives ---------===//
+//===- core/Session.cpp - Per-client execution state (sigma, pi) ----------===//
 
-#include "core/Runtime.h"
+#include "core/Session.h"
 
-#include "support/ThreadPool.h"
+#include "core/Engine.h"
 
 #include <algorithm>
 #include <cassert>
 
 using namespace au;
 
-Runtime::Runtime(Mode M, std::string Dir)
-    : ExecMode(M), ModelDir(std::move(Dir)) {}
-
-std::string Runtime::modelPath(const std::string &ModelName) const {
-  if (ModelDir.empty())
-    return ModelName + ".aumodel";
-  return ModelDir + "/" + ModelName + ".aumodel";
+Session::Session(Engine &E, Mode M) : Eng(E), ExecMode(M) {
+  // Combined serialize names created inside the store must intern through
+  // the engine too, so the store stays a positional mirror of the master
+  // table.
+  Db.setInternAuthority(this);
+  syncNames();
 }
 
-Model *Runtime::config(const ModelConfig &C) {
+Session::~Session() = default;
+
+NameId Session::intern(std::string_view Name) {
+  NameId Id = Eng.intern(Name);
+  syncNames();
+  return Id;
+}
+
+void Session::syncNames() {
+  // Every name in this store was replayed from the master table, in order,
+  // by a previous sync. If the store grew past the replay watermark, someone
+  // interned into db() directly — positions can no longer be trusted, and
+  // handles handed out by the engine would address the wrong slots. This is
+  // a real error path, not an assert: it fires in release builds too.
+  if (Db.names().size() != Synced)
+    throw StoreDivergenceError(
+        "session store diverged from the engine name table: a name was "
+        "interned directly into the store behind the session's back (use "
+        "Session::intern, not db().intern)");
+  Synced = Eng.appendNamesTo(Db, Synced);
+}
+
+Model *Session::config(const ModelConfig &C) {
   ++Stats.NumConfig;
-  // Rules CONFIG-TRAIN / CONFIG-TEST: only act when theta(name) is bottom.
-  auto It = Models.find(C.Name);
-  if (It != Models.end())
-    return It->second.get();
-
-  std::unique_ptr<Model> M;
-  if (C.Algo == Algorithm::QLearn)
-    M = std::make_unique<RlModel>(C);
-  else
-    M = std::make_unique<SlModel>(C);
-
-  if (ExecMode == Mode::TS) {
-    // CONFIG-TEST: load the trained model saved by a prior TR execution.
-    bool Loaded = M->load(modelPath(C.Name));
-    assert(Loaded && "TS-mode au_config could not load the trained model");
-    (void)Loaded;
-  }
-  Model *Raw = M.get();
-  Models.emplace(C.Name, std::move(M));
-
-  // Register the handle route: model names live in the same table as
-  // database names, so nn(NameId, ...) indexes theta directly.
-  NameId Id = Db.intern(C.Name);
-  if (Id >= ModelById.size())
-    ModelById.resize(Id + 1, nullptr);
-  ModelById[Id] = Raw;
-  return Raw;
+  // Model names live in the same table as database names, so nn(NameId, ...)
+  // indexes theta directly.
+  NameId Id = intern(C.Name);
+  Model *M = Eng.config(C, ExecMode);
+  if (Id >= ModelCache.size())
+    ModelCache.resize(Id + 1, nullptr);
+  ModelCache[Id] = M;
+  return M;
 }
 
 //===----------------------------------------------------------------------===//
 // au_extract
 //===----------------------------------------------------------------------===//
 
-void Runtime::extract(NameId Id, size_t Size, const double *Data) {
+void Session::extract(NameId Id, size_t Size, const double *Data) {
   assert(Data || Size == 0);
   ++Stats.NumExtract;
   Stats.FloatsExtracted += Size;
@@ -63,37 +65,37 @@ void Runtime::extract(NameId Id, size_t Size, const double *Data) {
   Db.append(Id, ConvStaging.data(), Size);
 }
 
-void Runtime::extract(const std::string &Name, size_t Size,
+void Session::extract(const std::string &Name, size_t Size,
                       const float *Data) {
-  extract(Db.intern(Name), Size, Data);
+  extract(intern(Name), Size, Data);
 }
 
-void Runtime::extract(const std::string &Name, size_t Size,
+void Session::extract(const std::string &Name, size_t Size,
                       const double *Data) {
-  extract(Db.intern(Name), Size, Data);
+  extract(intern(Name), Size, Data);
 }
 
-void Runtime::extract(const std::string &Name, float Value) {
-  extract(Db.intern(Name), Value);
+void Session::extract(const std::string &Name, float Value) {
+  extract(intern(Name), Value);
 }
 
 //===----------------------------------------------------------------------===//
 // au_serialize
 //===----------------------------------------------------------------------===//
 
-std::string Runtime::serialize(const std::vector<std::string> &Names) {
+std::string Session::serialize(const std::vector<std::string> &Names) {
   std::vector<NameId> Ids;
   Ids.reserve(Names.size());
   for (const std::string &N : Names)
-    Ids.push_back(Db.intern(N));
+    Ids.push_back(intern(N));
   return Db.nameOf(serialize(Ids));
 }
 
-std::string Runtime::serialize(std::initializer_list<const char *> Names) {
+std::string Session::serialize(std::initializer_list<const char *> Names) {
   std::vector<NameId> Ids;
   Ids.reserve(Names.size());
   for (const char *N : Names)
-    Ids.push_back(Db.intern(N));
+    Ids.push_back(intern(N));
   return Db.nameOf(serialize(Ids));
 }
 
@@ -101,7 +103,7 @@ std::string Runtime::serialize(std::initializer_list<const char *> Names) {
 // au_NN
 //===----------------------------------------------------------------------===//
 
-void Runtime::nn(NameId ModelId, NameId ExtId,
+void Session::nn(NameId ModelId, NameId ExtId,
                  const std::vector<WriteBackHandle> &Outputs) {
   ++Stats.NumNn;
   Model *M = getModel(ModelId);
@@ -127,10 +129,15 @@ void Runtime::nn(NameId ModelId, NameId ExtId,
     Pending.push_back(std::move(P));
   } else {
     // Rule TEST: gather the spans into the staging buffer, run one
-    // forwardBatch row, and scatter the predictions into pi.
+    // forwardBatch row, and scatter the predictions into pi. Under shared
+    // inference the row is served from this session's replica of the
+    // engine's latest published snapshot; otherwise (and while nothing is
+    // published) from the live model, exactly as before the split.
     NnStaging.resize(V.size());
     V.copyTo(NnStaging.data());
-    Sl->predictRows(NnStaging.data(), /*Rows=*/1, NnOut);
+    if (!(SharedInference &&
+          predictShared(ModelId, NnStaging.data(), /*Rows=*/1, NnOut)))
+      Sl->predictRows(NnStaging.data(), /*Rows=*/1, NnOut);
     size_t Offset = 0;
     for (const WriteBackHandle &O : Outputs) {
       assert(Offset + O.Size <= NnOut.size() &&
@@ -143,7 +150,7 @@ void Runtime::nn(NameId ModelId, NameId ExtId,
   Db.reset(ExtId);
 }
 
-void Runtime::nn(NameId ModelId, NameId ExtId, float Reward, bool Terminal,
+void Session::nn(NameId ModelId, NameId ExtId, float Reward, bool Terminal,
                  const WriteBackHandle &Output) {
   ++Stats.NumNn;
   Model *M = getModel(ModelId);
@@ -172,7 +179,7 @@ void Runtime::nn(NameId ModelId, NameId ExtId, float Reward, bool Terminal,
   Db.reset(ExtId);
 }
 
-void Runtime::nnBatch(NameId ModelId, NameId ExtId, int Rows,
+void Session::nnBatch(NameId ModelId, NameId ExtId, int Rows,
                       const std::vector<WriteBackHandle> &Outputs) {
   ++Stats.NumNn;
   assert(ExecMode == Mode::TS && "nnBatch is a deployment-mode primitive");
@@ -192,7 +199,9 @@ void Runtime::nnBatch(NameId ModelId, NameId ExtId, int Rows,
 
   NnStaging.resize(V.size());
   V.copyTo(NnStaging.data());
-  Sl->predictRows(NnStaging.data(), Rows, NnOut);
+  if (!(SharedInference &&
+        predictShared(ModelId, NnStaging.data(), Rows, NnOut)))
+    Sl->predictRows(NnStaging.data(), Rows, NnOut);
 
   const size_t NY = NnOut.size() / Rows;
   size_t Offset = 0;
@@ -208,26 +217,26 @@ void Runtime::nnBatch(NameId ModelId, NameId ExtId, int Rows,
   Db.reset(ExtId);
 }
 
-void Runtime::nn(const std::string &ModelName, const std::string &ExtName,
+void Session::nn(const std::string &ModelName, const std::string &ExtName,
                  const std::vector<WriteBackSpec> &Outputs) {
   std::vector<WriteBackHandle> Handles;
   Handles.reserve(Outputs.size());
   for (const WriteBackSpec &O : Outputs)
-    Handles.push_back({Db.intern(O.Name), O.Size});
-  nn(Db.intern(ModelName), Db.intern(ExtName), Handles);
+    Handles.push_back({intern(O.Name), O.Size});
+  nn(intern(ModelName), intern(ExtName), Handles);
 }
 
-void Runtime::nn(const std::string &ModelName, const std::string &ExtName,
+void Session::nn(const std::string &ModelName, const std::string &ExtName,
                  float Reward, bool Terminal, const WriteBackSpec &Output) {
-  nn(Db.intern(ModelName), Db.intern(ExtName), Reward, Terminal,
-     {Db.intern(Output.Name), Output.Size});
+  nn(intern(ModelName), intern(ExtName), Reward, Terminal,
+     {intern(Output.Name), Output.Size});
 }
 
 //===----------------------------------------------------------------------===//
 // au_write_back
 //===----------------------------------------------------------------------===//
 
-void Runtime::completePendingIfReady(PendingSample &P) {
+void Session::completePendingIfReady(PendingSample &P) {
   if (P.Labels.size() != P.Outputs.size())
     return;
   std::vector<float> Y;
@@ -250,7 +259,7 @@ void Runtime::completePendingIfReady(PendingSample &P) {
   Sl->addSample(P.X, Y, Specs);
 }
 
-void Runtime::writeBack(NameId Id, size_t Size, float *Data) {
+void Session::writeBack(NameId Id, size_t Size, float *Data) {
   ++Stats.NumWriteBack;
   assert(Data && Size > 0 && "invalid write-back destination");
 
@@ -285,7 +294,7 @@ void Runtime::writeBack(NameId Id, size_t Size, float *Data) {
   std::copy(Vals.begin(), Vals.begin() + Size, Data);
 }
 
-void Runtime::writeBack(NameId Id, size_t Size, double *Data) {
+void Session::writeBack(NameId Id, size_t Size, double *Data) {
   ConvStaging.resize(Size);
   if (ExecMode == Mode::TR)
     for (size_t I = 0; I != Size; ++I)
@@ -296,7 +305,7 @@ void Runtime::writeBack(NameId Id, size_t Size, double *Data) {
       Data[I] = ConvStaging[I];
 }
 
-void Runtime::writeBack(NameId Id, int NumActions, int *ActionKey) {
+void Session::writeBack(NameId Id, int NumActions, int *ActionKey) {
   ++Stats.NumWriteBack;
   assert(ActionKey && "invalid write-back destination");
   NameId Owner = wbOwner(Id);
@@ -311,141 +320,89 @@ void Runtime::writeBack(NameId Id, int NumActions, int *ActionKey) {
   *ActionKey = static_cast<int>(Vals.front());
 }
 
-void Runtime::writeBack(const std::string &Name, size_t Size, float *Data) {
-  writeBack(Db.intern(Name), Size, Data);
+void Session::writeBack(const std::string &Name, size_t Size, float *Data) {
+  writeBack(intern(Name), Size, Data);
 }
 
-void Runtime::writeBack(const std::string &Name, size_t Size, double *Data) {
-  writeBack(Db.intern(Name), Size, Data);
+void Session::writeBack(const std::string &Name, size_t Size, double *Data) {
+  writeBack(intern(Name), Size, Data);
 }
 
-void Runtime::writeBack(const std::string &Name, int NumActions,
+void Session::writeBack(const std::string &Name, int NumActions,
                         int *ActionKey) {
-  writeBack(Db.intern(Name), NumActions, ActionKey);
+  writeBack(intern(Name), NumActions, ActionKey);
 }
 
-void Runtime::setWbOwner(NameId Out, NameId ModelId) {
+void Session::setWbOwner(NameId Out, NameId ModelId) {
   if (Out >= WbOwner.size())
     WbOwner.resize(Out + 1, InvalidNameId);
   WbOwner[Out] = ModelId;
 }
 
 //===----------------------------------------------------------------------===//
-// Parallel actor contexts (DESIGN.md §8)
-//===----------------------------------------------------------------------===//
-
-void Runtime::setActorContexts(int K) {
-  assert(K > 0 && "need at least one actor context");
-  while (numActorContexts() < K) {
-    auto C = std::make_unique<ActorCtx>();
-    // Seed the new store's name table with every name interned so far, in
-    // order, so main-store NameIds index this store directly.
-    const NameTable &NT = Db.names();
-    for (size_t I = 0; I != NT.size(); ++I) {
-      [[maybe_unused]] NameId Id = C->Db.intern(NT.name(static_cast<NameId>(I)));
-      assert(Id == static_cast<NameId>(I) && "name table copy diverged");
-    }
-    Actors.push_back(std::move(C));
-  }
-}
-
-void Runtime::nnRlActors(NameId ModelId, const NameId *ExtIds,
-                         const float *Rewards, const uint8_t *Terminals,
-                         int K, const WriteBackHandle &Output) {
-  assert(K > 0 && K <= numActorContexts() &&
-         "nnRlActors needs a context per actor");
-  Stats.NumNn += static_cast<size_t>(K);
-  Model *M = getModel(ModelId);
-  assert(M && "au_NN on an unconfigured model");
-  assert(RlModel::classof(M) && "RL au_NN form on a supervised model");
-  auto *Rl = static_cast<RlModel *>(M);
-  setWbOwner(Output.Name, ModelId);
-
-  // Gather each actor's serialized state into row k of one K x D staging
-  // block. Rows are disjoint and each chunk touches only its own actor
-  // store, so the gather parallelizes without changing any result.
-  size_t D = actor(0).Db.view(ExtIds[0]).size();
-  assert(D > 0 && "au_NN with an empty state list");
-  NnStaging.resize(static_cast<size_t>(K) * D);
-  ThreadPool::global().parallelFor(0, static_cast<size_t>(K), 1,
-                                   [&](size_t B, size_t E) {
-    for (size_t A = B; A != E; ++A) {
-      SerializedView V = actor(static_cast<int>(A)).Db.view(ExtIds[A]);
-      assert(V.size() == D && "actor state sizes diverged");
-      V.copyTo(NnStaging.data() + A * D);
-    }
-  });
-
-  // One fused model step for the whole fleet (observe, train when due,
-  // batched action selection). The output's string spec is only needed on
-  // the cold build path.
-  ActionsScratch.resize(static_cast<size_t>(K));
-  WriteBackSpec Spec{std::string(), Output.Size};
-  if (!M->isBuilt())
-    Spec.Name = Db.nameOf(Output.Name);
-  bool Learning = ExecMode == Mode::TR;
-  Rl->stepActors(NnStaging.data(), K, static_cast<int>(D), Rewards, Terminals,
-                 Spec, Learning, ActionsScratch.data());
-
-  // Scatter action k into actor k's store and reset its state list (Rules
-  // TRAIN/TEST reset extName), again disjoint per actor.
-  ThreadPool::global().parallelFor(0, static_cast<size_t>(K), 1,
-                                   [&](size_t B, size_t E) {
-    for (size_t A = B; A != E; ++A) {
-      float ActionF = static_cast<float>(ActionsScratch[A]);
-      DatabaseStore &ADb = actor(static_cast<int>(A)).Db;
-      ADb.set(Output.Name, &ActionF, 1);
-      ADb.reset(ExtIds[A]);
-    }
-  });
-}
-
-void Runtime::mergeActorStats() {
-  for (auto &A : Actors) {
-    Stats.NumExtract += A->NumExtract;
-    Stats.FloatsExtracted += A->FloatsExtracted;
-    Stats.NumSerialize += A->NumSerialize;
-    Stats.NumWriteBack += A->NumWriteBack;
-    A->NumExtract = A->FloatsExtracted = A->NumSerialize = A->NumWriteBack = 0;
-  }
-}
-
-//===----------------------------------------------------------------------===//
 // Checkpoint / restore and model management
 //===----------------------------------------------------------------------===//
 
-void Runtime::checkpoint() {
+void Session::checkpoint() {
   ++Stats.NumCheckpoint;
   Ckpt.checkpoint(Db);
 }
 
-void Runtime::restore() {
+void Session::restore() {
   ++Stats.NumRestore;
   Ckpt.restore(Db);
 }
 
-Model *Runtime::getModel(const std::string &Name) {
-  auto It = Models.find(Name);
-  return It == Models.end() ? nullptr : It->second.get();
+Model *Session::getModel(const std::string &Name) { return Eng.getModel(Name); }
+
+Model *Session::getModel(NameId Id) {
+  // Fast path: the per-session cache, filled by config() and on first
+  // lookup, makes the per-call model resolution lock-free.
+  if (Id < ModelCache.size() && ModelCache[Id])
+    return ModelCache[Id];
+  Model *M = Eng.getModel(Id);
+  if (M) {
+    if (Id >= ModelCache.size())
+      ModelCache.resize(Id + 1, nullptr);
+    ModelCache[Id] = M;
+  }
+  return M;
 }
 
-double Runtime::trainSupervised(const std::string &ModelName, int Epochs,
+double Session::trainSupervised(const std::string &ModelName, int Epochs,
                                 int BatchSize) {
-  Model *M = getModel(ModelName);
-  assert(M && SlModel::classof(M) && "trainSupervised on a non-SL model");
-  return static_cast<SlModel *>(M)->train(Epochs, BatchSize);
+  return Eng.trainSupervised(ModelName, Epochs, BatchSize);
 }
 
-bool Runtime::saveModel(const std::string &ModelName) {
-  Model *M = getModel(ModelName);
-  if (!M)
+bool Session::saveModel(const std::string &ModelName) {
+  return Eng.saveModel(ModelName);
+}
+
+bool Session::saveAllModels() { return Eng.saveAllModels(); }
+
+std::string Session::modelPath(const std::string &ModelName) const {
+  return Eng.modelPath(ModelName);
+}
+
+//===----------------------------------------------------------------------===//
+// Shared-inference serving
+//===----------------------------------------------------------------------===//
+
+bool Session::predictShared(NameId ModelId, const float *Xs, int Rows,
+                            std::vector<float> &Out) {
+  if (ModelId >= Replicas.size())
+    Replicas.resize(ModelId + 1);
+  std::unique_ptr<InferenceReplica> &Rep = Replicas[ModelId];
+  if (!Rep)
+    Rep = std::make_unique<InferenceReplica>();
+  if (!Rep->refresh(Eng, ModelId))
     return false;
-  return M->save(modelPath(ModelName));
+  Rep->predictRows(Xs, Rows, Out);
+  return true;
 }
 
-bool Runtime::saveAllModels() {
-  bool Ok = true;
-  for (auto &[Name, M] : Models)
-    Ok = M->save(modelPath(Name)) && Ok;
-  return Ok;
+uint64_t Session::servingVersion(NameId ModelId) const {
+  return ModelId < Replicas.size() && Replicas[ModelId]
+             ? Replicas[ModelId]->version()
+             : 0;
 }
